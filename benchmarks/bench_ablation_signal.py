@@ -1,0 +1,107 @@
+"""Ablation: signal-based vs kernel-initiated checkpointing
+(Sections III-A, V-C.1).
+
+The signal-based notification makes threads abandon in-flight socket
+syscalls before the freeze, guaranteeing empty backlog and prequeue —
+so only three queues need dumping.  Kernel-initiated checkpointing (as
+in [14]) can catch sockets locked with queued backlog packets, which
+then must be dumped and replayed as raw packets, inflating the freeze
+payload.
+"""
+
+from repro.analysis import render_table
+from repro.cluster import build_cluster
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.testing import establish_clients, run_for
+
+
+def one(signal_based: bool, dump_user_queues: bool = True):
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv")
+    proc.address_space.mmap(128, tag="heap")
+    _, children, clients = establish_clients(cluster, node, proc, 27960, 16, settle=2.0)
+
+    # The app holds socket locks while processing, so packets pile up
+    # in the backlog queues — a kernel-initiated checkpoint can land
+    # mid-processing.  Per-socket periods are staggered so the freeze
+    # always catches some sockets locked with queued packets.
+    def busy_reader(s, i):
+        yield cluster.env.timeout(0.0007 * i)
+        while True:
+            yield from proc.check_frozen()
+            s.lock_user()
+            yield cluster.env.timeout(0.004 + 0.0004 * i)  # critical section
+            if s.locked:
+                s.unlock_user()
+            yield cluster.env.timeout(0.001)
+
+    for i, ch in enumerate(children):
+        cluster.env.process(busy_reader(ch, i))
+
+    def pinger(c, i):
+        while True:
+            yield cluster.env.timeout(0.0015 + 0.00017 * i)
+            c.send("ping", 64)
+
+    for i, c in enumerate(clients):
+        cluster.env.process(pinger(c, i))
+
+    run_for(cluster, 0.2)
+    ev = migrate_process(
+        node,
+        cluster.nodes[1],
+        proc,
+        LiveMigrationConfig(
+            signal_based=signal_based, dump_user_queues=dump_user_queues
+        ),
+    )
+    report = cluster.env.run(until=ev)
+    run_for(cluster, 1.0)
+    delivered = sum(ch.bytes_received for ch in children)
+    retransmits = sum(c.retransmit_count for c in clients)
+    backlogged = sum(ch.backlog_hits for ch in children)
+    return report, delivered, retransmits, backlogged
+
+
+def run():
+    return {
+        "signal-based": one(True),
+        "kernel-initiated, queues dumped": one(False, dump_user_queues=True),
+        "kernel-initiated, queues dropped": one(False, dump_user_queues=False),
+    }
+
+
+def test_ablation_signal_vs_kernel_initiated(once):
+    results = once(run)
+    rows = [
+        (name, r.bytes.freeze_sockets, r.freeze_time * 1e3, delivered, retr)
+        for name, (r, delivered, retr, _bl) in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["mode", "freeze socket bytes", "freeze (ms)", "bytes delivered", "client RTOs"],
+            rows,
+            title="Ablation: signal-based vs kernel-initiated checkpointing",
+        )
+    )
+
+    sig, sig_delivered, sig_retr, sig_backlog = results["signal-based"]
+    kern, kern_delivered, kern_retr, kern_backlog = results[
+        "kernel-initiated, queues dumped"
+    ]
+    naive, naive_delivered, naive_retr, _ = results[
+        "kernel-initiated, queues dropped"
+    ]
+    # The workload genuinely drove packets through the backlog path.
+    assert kern_backlog > 0
+    # Signal-based checkpointing never loses data or needs the extra
+    # queues; kernel-initiated is also safe IF it dumps them.
+    assert sig.success and kern.success and naive.success
+    assert sig_retr == 0 and kern_retr == 0
+    # A naive kernel-initiated implementation that ignores the backlog
+    # drops queued packets: TCP has to recover by retransmission.
+    assert naive_retr > 0
+    # Kernel-initiated checkpointing ships at least as many socket bytes.
+    assert kern.bytes.freeze_sockets >= sig.bytes.freeze_sockets

@@ -1,0 +1,81 @@
+"""Ablation: the precopy termination threshold (the paper fixes it at
+20 ms, Section III-A).
+
+Sweeping the threshold exposes the downtime/total-time trade-off: a
+larger threshold freezes earlier (fewer precopy rounds -> shorter total
+migration but more dirty state left for the freeze); a smaller one keeps
+copying longer (longer total time, smaller freeze).
+"""
+
+from repro.analysis import render_table
+from repro.cluster import build_cluster
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.testing import establish_clients, run_for
+
+THRESHOLDS = (0.080, 0.040, 0.020, 0.010, 0.005)
+
+
+def one(threshold):
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv")
+    area = proc.address_space.mmap(2000, tag="heap")
+    _, children, _ = establish_clients(cluster, node, proc, 27960, 64, settle=2.0)
+
+    def rt_loop():
+        tick = 0
+        while True:
+            yield from proc.check_frozen()
+            yield cluster.env.timeout(0.01)
+            yield from proc.check_frozen()
+            # Rotate through the whole area so the dirty set between
+            # precopy rounds scales with the round length.
+            tick += 1
+            offset = (tick * 40) % (area.npages - 40)
+            proc.address_space.write_range(area, count=40, offset=offset)
+            for ch in children[:8]:
+                ch.send("update", 256)
+
+    cluster.env.process(rt_loop())
+    run_for(cluster, 0.3)
+    config = LiveMigrationConfig(
+        freeze_threshold=threshold,
+        initial_round_timeout=0.64,
+    )
+    ev = migrate_process(node, cluster.nodes[1], proc, config)
+    return cluster.env.run(until=ev)
+
+
+def run():
+    return {t: one(t) for t in THRESHOLDS}
+
+
+def test_ablation_precopy_threshold(once):
+    reports = once(run)
+    rows = [
+        (
+            f"{t * 1e3:.0f} ms",
+            r.precopy_rounds,
+            r.freeze_time * 1e3,
+            r.total_time * 1e3,
+            r.bytes.freeze_pages / 1e3,
+        )
+        for t, r in reports.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["threshold", "rounds", "freeze (ms)", "total (ms)", "freeze pages (kB)"],
+            rows,
+            title="Ablation: precopy termination threshold",
+        )
+    )
+
+    # More rounds with a smaller threshold.
+    assert reports[0.005].precopy_rounds > reports[0.080].precopy_rounds
+    # Total migration time grows as the threshold shrinks.
+    assert reports[0.005].total_time > reports[0.080].total_time
+    # Freeze-phase page volume shrinks (or stays) as threshold shrinks.
+    assert (
+        reports[0.005].bytes.freeze_pages <= reports[0.080].bytes.freeze_pages
+    )

@@ -1,0 +1,92 @@
+"""Extension experiment: the motivation, quantified.
+
+The paper's introduction: uneven client distribution overloads servers,
+"adversely affecting the response time and damaging the interactivity of
+the virtual environment" — and live migration is the cure.  This bench
+measures it directly: a zone server on a 1.7x-oversubscribed node cannot
+hold its 20 Hz update rate; live-migrating it to an idle node restores
+the cadence, with only the freeze-length hiccup in between.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cluster import build_cluster
+from repro.core import migrate_process
+from repro.dve import ZoneGrid, ZoneServer, ZoneServerConfig
+from repro.testing import run_for
+
+
+def run():
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    hot, idle = cluster.nodes
+    grid = ZoneGrid(10, 10, 2)
+
+    zs = ZoneServer(
+        cluster, hot, grid.zones[0],
+        config=ZoneServerConfig(n_client_conns=4, traffic_mode="packet"),
+    )
+    zs.connect_clients()
+    zs.start()
+    zs.set_population(120)
+
+    # Background noise saturates the hot node to ~170%.
+    for k in range(4):
+        noisy = hot.kernel.spawn_process(f"noise{k}")
+        hot.kernel.cpu.set_demand(noisy, 0.83)
+
+    # A client records update arrival times; find the client-side
+    # socket peering with the server's first connection.
+    arrivals = []
+    conn = zs.client_conns[0]
+    client_sock = None
+    for client in cluster.clients:
+        for key, sock in client.stack.tables.ehash.items():
+            if sock.remote == conn.local:
+                client_sock = sock
+    assert client_sock is not None
+
+    def watch_client():
+        while True:
+            yield client_sock.recv()
+            arrivals.append(cluster.env.now)
+
+    cluster.env.process(watch_client())
+
+    run_for(cluster, 10.0)
+    overloaded_gaps = np.diff(arrivals[5:])
+    mark = len(arrivals)
+
+    report = cluster.env.run(until=migrate_process(hot, idle, zs.proc))
+    run_for(cluster, 10.0)
+    migrated_gaps = np.diff(arrivals[mark + 3:])
+
+    return {
+        "report": report,
+        "overloaded_median_gap": float(np.median(overloaded_gaps)),
+        "migrated_median_gap": float(np.median(migrated_gaps)),
+        "saturation": 4 * 0.83 / 2 + 0,  # background demand per core
+    }
+
+
+def test_ext_interactivity_restored_by_migration(once):
+    res = once(run)
+    rows = [
+        ("on overloaded node", res["overloaded_median_gap"] * 1e3, 50.0),
+        ("after live migration", res["migrated_median_gap"] * 1e3, 50.0),
+    ]
+    print()
+    print(
+        render_table(
+            ["phase", "median update gap (ms)", "target (ms)"],
+            rows,
+            title="Extension: interactivity vs load (20 Hz real-time loop)",
+        )
+    )
+    assert res["report"].success
+    # Overload visibly breaks the 20 Hz cadence (>=1.5x stretched) ...
+    assert res["overloaded_median_gap"] > 0.075
+    # ... and migration fully restores it.
+    assert abs(res["migrated_median_gap"] - 0.05) < 0.005
+    # The cure is cheap: sub-50 ms downtime.
+    assert res["report"].freeze_time < 0.05

@@ -1,0 +1,39 @@
+"""Figure 5b: worst-case process freeze time vs number of TCP
+connections (16..1024) for iterative / collective / incremental
+collective socket migration.
+
+Paper: iterative grows ~linearly with the transferred bytes (~180 ms at
+1024 connections on their testbed); collective sits well below it;
+incremental collective stays under 40 ms even beyond 1000 connections.
+"""
+
+from repro.analysis import SweepConfig, render_fig5b, run_freeze_sweep
+
+CONFIG = SweepConfig(repetitions=2)
+
+
+def test_fig5b_freeze_time_sweep(once):
+    result = once(lambda: run_freeze_sweep(CONFIG))
+    print()
+    print(render_fig5b(result))
+
+    for n in CONFIG.conn_counts:
+        it = result.point(n, "iterative").freeze_time
+        co = result.point(n, "collective").freeze_time
+        inc = result.point(n, "incremental-collective").freeze_time
+        # The paper's ordering holds at every point.
+        assert it > co > inc, f"ordering broken at N={n}"
+
+    # Headline: >1000 connections in under 40 ms with incremental
+    # collective (Section VIII).
+    assert result.point(1024, "incremental-collective").freeze_time < 0.040
+
+    # Iterative is roughly linear in N (4x connections -> ~3-5x time).
+    t256 = result.point(256, "iterative").freeze_time
+    t1024 = result.point(1024, "iterative").freeze_time
+    assert 2.5 < t1024 / t256 < 6.0
+
+    # Incremental collective is far flatter than iterative.
+    i256 = result.point(256, "incremental-collective").freeze_time
+    i1024 = result.point(1024, "incremental-collective").freeze_time
+    assert (i1024 / i256) < (t1024 / t256)

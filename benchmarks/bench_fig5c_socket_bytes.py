@@ -1,0 +1,37 @@
+"""Figure 5c: socket data transferred during the freeze phase vs number
+of connections.
+
+Paper: iterative and collective transfer (nearly) the same amount —
+~3.5 MB at 1024 connections — while incremental collective transfers an
+order of magnitude less (~0.1–0.5 MB), because most socket structures do
+not change once the precopy loop timeout becomes short.
+"""
+
+from repro.analysis import SweepConfig, render_fig5c, run_freeze_sweep
+
+CONFIG = SweepConfig(repetitions=1)
+
+
+def test_fig5c_socket_bytes_sweep(once):
+    result = once(lambda: run_freeze_sweep(CONFIG))
+    print()
+    print(render_fig5c(result))
+
+    for n in CONFIG.conn_counts:
+        it = result.point(n, "iterative").freeze_socket_bytes
+        co = result.point(n, "collective").freeze_socket_bytes
+        inc = result.point(n, "incremental-collective").freeze_socket_bytes
+        # Iterative and collective move essentially the same bytes.
+        assert abs(it - co) / max(it, co) < 0.25, f"it/co diverge at N={n}"
+        # Incremental is several times smaller.
+        assert inc < it / 3, f"incremental not smaller at N={n}"
+
+    # Magnitudes at 1024: ~3.5 MB full vs well under 1 MB incremental.
+    full = result.point(1024, "iterative").freeze_socket_bytes
+    inc = result.point(1024, "incremental-collective").freeze_socket_bytes
+    assert 2.5e6 < full < 5e6
+    assert inc < 1e6
+
+    # The bytes incremental saves at freeze were moved to precopy.
+    p = result.point(1024, "incremental-collective")
+    assert p.precopy_socket_bytes > p.freeze_socket_bytes

@@ -1,0 +1,97 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not paper figures — these track the simulator's own performance (event
+throughput, packet path cost, checkpoint dump rate) so regressions in
+the substrate are visible independently of the experiment harnesses.
+"""
+
+from repro.cluster import build_cluster
+from repro.des import Environment
+from repro.net import Endpoint
+from repro.oskern import AddressSpace
+from repro.blcr import checkpoint_process
+from repro.testing import establish_clients, run_for
+
+
+def test_des_event_throughput(benchmark):
+    """Schedule and process 20k chained timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(20_000):
+                yield env.timeout(0.001)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 19.9
+
+
+def test_tcp_echo_round_trips(benchmark):
+    """1000 request/response pairs through the full stack + router."""
+
+    def run():
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("echo")
+        _, children, clients = establish_clients(cluster, node, proc, 27960, 1)
+        server, client = children[0], clients[0]
+        done = {"n": 0}
+
+        def echo():
+            while True:
+                skb = yield server.recv()
+                server.send(skb.payload, 64)
+
+        def pinger():
+            for i in range(1000):
+                client.send(i, 64)
+                yield client.recv()
+                done["n"] += 1
+
+        cluster.env.process(echo())
+        p = cluster.env.process(pinger())
+        cluster.env.run(until=p)
+        return done["n"]
+
+    assert benchmark(run) == 1000
+
+
+def test_dirty_page_checkpoint_rate(benchmark):
+    """Dirty-page dump of a 64 MiB address space (16k pages)."""
+
+    def setup():
+        space = AddressSpace()
+        area = space.mmap(16_384)
+        space.clear_dirty()
+        space.write_range(area, count=8_192)
+        return (space,), {}
+
+    def run(space):
+        pages = space.dirty_pages()
+        space.clear_dirty(pages)
+        return len(pages)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=20)
+    assert result == 8_192
+
+
+def test_migration_cost_scaling(benchmark):
+    """One full 64-connection live migration, end to end (wall time)."""
+    from repro.core import migrate_process
+
+    def run():
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("zs")
+        proc.address_space.mmap(500)
+        establish_clients(cluster, node, proc, 27960, 64, settle=2.0)
+        ev = migrate_process(node, cluster.nodes[1], proc)
+        return cluster.env.run(until=ev)
+
+    report = benchmark(run)
+    assert report.success

@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at full
+paper scale and prints the same rows/series the paper plots (run with
+``-s`` to see them).  Each also asserts the qualitative *shape* the
+paper reports — who wins, by roughly what factor, where crossovers fall.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    result (these are long experiments, not microbenchmarks)."""
+    box = {}
+
+    def wrapper():
+        box["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return box["result"]
+
+
+@pytest.fixture
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

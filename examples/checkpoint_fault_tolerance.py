@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Beyond load balancing: checkpoint/restart as fault tolerance.
+
+The paper's conclusion names fault tolerance as a further use of
+process live migration.  This example uses the BLCR substrate directly:
+a zone-server process is periodically checkpointed to an image; when its
+node "crashes", the latest image is restarted on a surviving node with
+all memory and file state intact (sockets are re-established by the
+application layer, as with classic checkpoint/restart).
+
+Run:  python examples/checkpoint_fault_tolerance.py
+"""
+
+from repro.blcr import checkpoint_process, restart_process
+from repro.cluster import build_cluster
+from repro.oskern import RegularFile
+from repro.testing import run_for
+
+
+def main() -> None:
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    node1, node2 = cluster.nodes
+
+    proc = node1.kernel.spawn_process("zone_serv7", nthreads=2)
+    world = proc.address_space.mmap(256, tag="world-state")
+    proc.fdtable.install(RegularFile(path="/var/dve/zone7.dat", offset=0))
+
+    # The app advances world state every 100 ms.
+    state = {"epoch": 0}
+
+    def app():
+        while True:
+            yield cluster.env.timeout(0.1)
+            state["epoch"] += 1
+            proc.address_space.write_range(world, count=8)
+            proc.main_thread.touch_registers()
+
+    cluster.env.process(app())
+
+    # Periodic checkpoints (every second of simulated time).
+    images = []
+
+    def checkpointer():
+        while True:
+            yield cluster.env.timeout(1.0)
+            images.append((state["epoch"], checkpoint_process(proc)))
+
+    cluster.env.process(checkpointer())
+
+    run_for(cluster, 3.5)
+    epoch_at_ckpt, image = images[-1]
+    print(f"took {len(images)} checkpoints on {node1.name}; latest at "
+          f"epoch {epoch_at_ckpt}, image size {image.total_bytes / 1e3:.1f} kB "
+          f"({image.section('pages').nbytes / 1e3:.1f} kB of pages)")
+
+    # The node fails: the process is simply gone.
+    print(f"\n*** {node1.name} crashes ***\n")
+    proc.exit()
+
+    restored = restart_process(node2.kernel, image)
+    print(f"restarted pid {restored.pid} ({restored.name}) on "
+          f"{restored.kernel.node_name}")
+    print(f"  memory pages restored : {restored.address_space.total_pages}")
+    print(f"  threads restored      : {len(restored.threads)}")
+    print(f"  open files restored   : "
+          f"{[f.path for _fd, f in restored.fdtable.regular_files()]}")
+    print(f"  register state version: "
+          f"{restored.main_thread.registers_version} "
+          f"(epoch {epoch_at_ckpt} of the run)")
+    lost = state["epoch"] - epoch_at_ckpt
+    print(f"\nwork lost to the crash: {lost} epochs "
+          f"(bounded by the checkpoint interval)")
+
+
+if __name__ == "__main__":
+    main()

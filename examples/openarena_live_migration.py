@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Reproduce Figure 4: live-migrate an OpenArena server with 24 clients.
+
+Runs the Section VI-B experiment — a Quake III-style UDP game server
+updating 24 clients at 20 Hz is live-migrated between cluster nodes —
+and prints the packet timeline a tcpdump on both nodes would show,
+including the worst-case wire-visible delay.
+
+Run:  python examples/openarena_live_migration.py
+"""
+
+from repro.analysis import render_fig4
+from repro.openarena import Fig4Config, run_openarena_migration
+
+
+def main() -> None:
+    print("Running the OpenArena live-migration experiment "
+          "(24 clients, worst-case phase sweep)...")
+    result = run_openarena_migration(Fig4Config())
+    print()
+    print(render_fig4(result))
+    print()
+    print("Paper reference: 20 ms downtime, ~25 ms wire-visible delay, "
+          "completely transparent to the clients.")
+
+
+if __name__ == "__main__":
+    main()

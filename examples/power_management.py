@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Power management by live migration (a Section-VIII future-work case).
+
+At night the DVE empties out: the consolidator drains lightly loaded
+nodes by live-migrating their zone servers — connections intact — and
+puts the empty machines to sleep.  When the morning crowd returns, the
+sleeping nodes wake and the ordinary load balancing resumes.
+
+Run:  python examples/power_management.py
+"""
+
+from repro.cluster import build_cluster
+from repro.core import LiveMigrationConfig
+from repro.middleware import (
+    ConductorConfig,
+    ConsolidationConfig,
+    Consolidator,
+    install_conductor,
+)
+from repro.testing import run_for
+
+
+def main() -> None:
+    cluster = build_cluster(n_nodes=4, with_db=False)
+    scan = [n.local_ip for n in cluster.nodes]
+    for node in cluster.nodes:
+        install_conductor(
+            node, scan, cluster.node_by_local_ip,
+            ConductorConfig(migration=LiveMigrationConfig(initial_round_timeout=0.08)),
+        )
+
+    # Three zone servers per node, daytime load.
+    procs = []
+    for node in cluster.nodes:
+        for k in range(3):
+            proc = node.kernel.spawn_process(f"zone_{node.name}_{k}")
+            proc.address_space.mmap(64)
+            node.kernel.cpu.set_demand(proc, 0.5)  # 75% per node total
+            node.daemons["conductor"].manage(proc)
+            procs.append(proc)
+
+    cons = Consolidator(
+        cluster.nodes,
+        lambda h: [p for p in h.kernel.processes.values() if p.name.startswith("zone_")],
+        ConsolidationConfig(low_watermark=35.0, target_cap=80.0, wake_watermark=85.0),
+    )
+
+    def loads():
+        return {n.name: f"{n.kernel.cpu.utilization():.0f}%" for n in cluster.nodes}
+
+    run_for(cluster, 5.0)
+    print(f"daytime  loads: {loads()}  asleep: {sorted(cons.sleeping)}")
+
+    # Night falls: players log off, demand collapses.
+    for proc in procs:
+        proc.kernel.cpu.set_demand(proc, 0.08)
+    run_for(cluster, 60.0)
+    print(f"night    loads: {loads()}  asleep: {sorted(cons.sleeping)}")
+
+    # Morning: the crowd returns.
+    for proc in procs:
+        proc.kernel.cpu.set_demand(proc, 0.5)
+    run_for(cluster, 60.0)
+    print(f"morning  loads: {loads()}  asleep: {sorted(cons.sleeping)}")
+
+    print("\npower/migration event log:")
+    for e in cons.events:
+        print(f"  t={e.time:6.1f}s {e.action:8s} {e.node:6s} {e.detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Multimedia streaming across a live migration (Section VIII).
+
+The paper names multimedia streaming as a main future perspective for
+live migration that keeps connections alive.  Here a streaming server
+pushes a continuous sequence-numbered TCP stream to three subscribers;
+it is live-migrated mid-stream with data sitting unacknowledged in its
+write queues.  Each subscriber receives every chunk exactly once, in
+order, with only a freeze-length hiccup in inter-chunk timing.
+
+Run:  python examples/streaming_migration.py
+"""
+
+import numpy as np
+
+from repro.cluster import build_cluster
+from repro.core import migrate_process
+from repro.testing import establish_clients, run_for
+
+
+def main() -> None:
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    source, dest = cluster.nodes
+    proc = source.kernel.spawn_process("streamd")
+    proc.address_space.mmap(512, tag="buffers")
+    _, sessions, subscribers = establish_clients(
+        cluster, source, proc, port=8554, n_clients=3
+    )
+
+    # 25 chunks/s of 1300 B to every subscriber (~260 kbit/s each).
+    def streamer():
+        seq = 0
+        while True:
+            yield from proc.check_frozen()
+            yield cluster.env.timeout(0.04)
+            yield from proc.check_frozen()
+            for session in sessions:
+                session.send(("chunk", seq), 1300)
+            seq += 1
+
+    cluster.env.process(streamer())
+
+    arrivals: list[list[tuple[float, int]]] = [[] for _ in subscribers]
+
+    def watch(i, sock):
+        def loop():
+            while True:
+                skb = yield sock.recv()
+                arrivals[i].append((cluster.env.now, skb.payload[1]))
+
+        cluster.env.process(loop())
+
+    for i, sock in enumerate(subscribers):
+        watch(i, sock)
+
+    run_for(cluster, 2.0)
+    report = cluster.env.run(until=migrate_process(source, dest, proc))
+    run_for(cluster, 2.0)
+
+    print(f"migrated {proc.name} {report.source} -> {report.destination} "
+          f"with {report.n_tcp_sockets} TCP sockets; "
+          f"freeze {report.freeze_time * 1e3:.2f} ms")
+    for i, log in enumerate(arrivals):
+        seqs = [s for _t, s in log]
+        gaps = np.diff([t for t, _s in log])
+        ok = seqs == list(range(len(seqs)))
+        print(f"subscriber {i}: {len(seqs)} chunks, "
+              f"exactly-once-in-order={ok}, "
+              f"median gap {np.median(gaps) * 1e3:.1f} ms, "
+              f"worst gap {gaps.max() * 1e3:.1f} ms")
+    print("\nThe worst gap is the migration hiccup; the stream itself "
+          "never breaks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a full-system reproduction of
+
+    "An Efficient Process Live Migration Mechanism for Load Balanced
+     Distributed Virtual Environments"
+    (B. Gerofi, H. Fujita, Y. Ishikawa — IEEE CLUSTER 2010)
+
+as a deterministic discrete-event simulation: a Linux-like kernel
+substrate (memory management with dirty-bit tracking, netfilter,
+jiffies), a migratable TCP/UDP stack, a BLCR-style checkpoint/restart
+layer, the paper's live-migration mechanism with iterative / collective
+/ incremental-collective socket migration, packet-loss prevention and
+in-cluster address translation, the decentralized load-balancing
+middleware, and the two evaluation workloads (an OpenArena-like FPS
+server and the 10,000-client DVE simulation).
+
+Quick start::
+
+    from repro.cluster import build_cluster
+    from repro.core import migrate_process
+    from repro.testing import establish_clients
+
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    node, dest = cluster.nodes
+    proc = node.kernel.spawn_process("game_server")
+    proc.address_space.mmap(256)
+    establish_clients(cluster, node, proc, 27960, n_clients=8)
+    report = cluster.env.run(until=migrate_process(node, dest, proc))
+    print(report.summary())
+"""
+
+from . import analysis, blcr, core, des, dve, middleware, net, openarena, oskern, tcpip
+from .cluster import Cluster, ClusterConfig, build_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "build_cluster",
+    "des",
+    "net",
+    "oskern",
+    "tcpip",
+    "blcr",
+    "core",
+    "middleware",
+    "openarena",
+    "dve",
+    "analysis",
+    "__version__",
+]

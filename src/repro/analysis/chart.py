@@ -1,0 +1,83 @@
+"""Terminal charts: render time series as ASCII line plots.
+
+The paper's Figure 5d/e/f are line charts; `render_chart` draws a
+SeriesBundle in a character grid so `repro-experiments` and the examples
+can show the *shape*, not just sampled rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..des import SeriesBundle
+
+__all__ = ["render_chart"]
+
+#: One marker per series, cycled.
+_MARKERS = "123456789"
+
+
+def render_chart(
+    bundle: SeriesBundle,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "",
+    y_range: Optional[tuple[float, float]] = None,
+) -> str:
+    """Draw every series in ``bundle`` into one character grid.
+
+    Each series gets a digit marker (`1` = first name alphabetically);
+    when several series hit the same cell the later one wins, which is
+    fine for eyeballing shapes.
+    """
+    names = bundle.names()
+    if not names:
+        return f"{title}\n(empty)"
+    start, end = bundle.common_window()
+    times = np.linspace(start, end, width)
+    data = {name: bundle[name].resample(times) for name in names}
+
+    if y_range is None:
+        lo = min(float(np.min(v)) for v in data.values())
+        hi = max(float(np.max(v)) for v in data.values())
+        pad = max(1e-9, (hi - lo) * 0.05)
+        lo, hi = lo - pad, hi + pad
+    else:
+        lo, hi = y_range
+        if hi <= lo:
+            raise ValueError("empty y range")
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, name in enumerate(names):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for col, value in enumerate(data[name]):
+            frac = (value - lo) / (hi - lo)
+            frac = min(1.0, max(0.0, frac))
+            row = height - 1 - int(frac * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 8
+    for i, row in enumerate(grid):
+        value = hi - (hi - lo) * i / (height - 1)
+        label = f"{value:7.1f} " if i % 4 == 0 or i == height - 1 else " " * label_width
+        lines.append(label + "|" + "".join(row))
+    axis = " " * label_width + "+" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + f"{start:<.0f}s".ljust(width // 2)
+        + f"{end:>.0f}s".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * label_width + legend)
+    if ylabel:
+        lines.append(" " * label_width + f"(y: {ylabel})")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""CSV export of experiment results (for external plotting tools)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from ..des import SeriesBundle
+from ..openarena import Fig4Result
+from .fig5bc import FreezeSweepResult
+
+__all__ = ["series_to_csv", "sweep_to_csv", "fig4_to_csv"]
+
+
+def series_to_csv(bundle: SeriesBundle, n_points: int = 200) -> str:
+    """A SeriesBundle as ``time,<name1>,<name2>,...`` rows."""
+    names = bundle.names()
+    out = io.StringIO()
+    out.write("time," + ",".join(names) + "\n")
+    if names:
+        start, end = bundle.common_window()
+        for t in np.linspace(start, end, n_points):
+            vals = ",".join(f"{bundle[n].value_at(t):.3f}" for n in names)
+            out.write(f"{t:.3f},{vals}\n")
+    return out.getvalue()
+
+
+def sweep_to_csv(result: FreezeSweepResult) -> str:
+    """The Fig. 5b/5c sweep as one row per (connections, strategy)."""
+    out = io.StringIO()
+    out.write(
+        "connections,strategy,freeze_time_ms,freeze_socket_bytes,"
+        "precopy_socket_bytes,total_time_ms\n"
+    )
+    for p in sorted(result.points, key=lambda p: (p.n_connections, p.strategy)):
+        out.write(
+            f"{p.n_connections},{p.strategy},{p.freeze_time * 1e3:.4f},"
+            f"{p.freeze_socket_bytes},{p.precopy_socket_bytes},"
+            f"{p.total_time * 1e3:.3f}\n"
+        )
+    return out.getvalue()
+
+
+def fig4_to_csv(result: Fig4Result) -> str:
+    """The packet timeline behind Figure 4."""
+    out = io.StringIO()
+    out.write("time_s,burst_number,node\n")
+    for t, num, node in result.timeline():
+        out.write(f"{t:.6f},{num},{node}\n")
+    return out.getvalue()

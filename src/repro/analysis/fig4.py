@@ -1,0 +1,51 @@
+"""Figure 4: packet delay due to migration (OpenArena server, 24
+clients) — the experiment driver + report renderer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..openarena import Fig4Config, Fig4Result, run_openarena_migration
+from .report import render_kv, render_table
+
+__all__ = ["run_fig4", "render_fig4"]
+
+
+def run_fig4(config: Optional[Fig4Config] = None) -> Fig4Result:
+    """Run the Figure-4 experiment (worst-case freeze/frame alignment)."""
+    return run_openarena_migration(config)
+
+
+def render_fig4(result: Fig4Result, timeline_window: float = 0.3) -> str:
+    """The numbers the paper reports in Section VI-B, plus the packet
+    timeline around the migration (the Fig. 4 scatter)."""
+    r = result.report
+    summary = render_kv(
+        {
+            "regular update interval (ms)": result.regular_interval * 1e3,
+            "process freeze time (ms)": r.freeze_time * 1e3,
+            "wire gap across migration (ms)": result.migration_gap * 1e3,
+            "imposed delay vs expected (ms)": result.imposed_delay * 1e3,
+            "snapshots lost": result.snapshots_lost,
+            "packets captured": r.packets_captured,
+            "packets reinjected": r.packets_reinjected,
+            "precopy rounds": r.precopy_rounds,
+            "total migration time (ms)": r.total_time * 1e3,
+        },
+        title="Figure 4 / Section VI-B: OpenArena live migration (24 clients)",
+    )
+
+    # Timeline rows around the cutover (packet number vs time).
+    cut = r.frozen_at
+    rows = [
+        ((t - cut) * 1e3, num, node)
+        for t, num, node in result.timeline()
+        if abs(t - cut) <= timeline_window / 2
+    ]
+    table = render_table(
+        ["t - freeze (ms)", "burst #", "node"],
+        rows,
+        title="\nSnapshot bursts around the migration:",
+        floatfmt=".1f",
+    )
+    return summary + "\n" + table

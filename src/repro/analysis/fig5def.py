@@ -1,0 +1,125 @@
+"""Figures 5d, 5e, 5f: the 15-minute DVE load-balancing experiment.
+
+- 5e: per-node CPU consumption with load balancing *disabled*;
+- 5f: the same with load balancing *enabled*;
+- 5d: per-node zone-server process counts with load balancing enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..dve import DVEResult, DVEScenario, DVEScenarioConfig
+from .report import render_kv, render_series, render_table
+
+__all__ = [
+    "LoadBalancingComparison",
+    "run_fig5def",
+    "render_fig5d",
+    "render_fig5e",
+    "render_fig5f",
+    "render_comparison",
+]
+
+
+@dataclass
+class LoadBalancingComparison:
+    without_lb: DVEResult
+    with_lb: DVEResult
+
+    def spread_reduction(self, after_fraction: float = 0.5) -> float:
+        """How much the worst CPU spread shrank with LB enabled,
+        measured over the second half of the run."""
+        _start, end = self.without_lb.cpu.common_window()
+        after = end * after_fraction
+        return self.without_lb.max_spread(after) - self.with_lb.max_spread(after)
+
+
+def run_fig5def(
+    config: Optional[DVEScenarioConfig] = None,
+) -> LoadBalancingComparison:
+    """Run the scenario twice: LB off (5e) and LB on (5d + 5f)."""
+    base = config or DVEScenarioConfig()
+    without = DVEScenario(replace(base, load_balancing=False)).run()
+    with_lb = DVEScenario(replace(base, load_balancing=True)).run()
+    return LoadBalancingComparison(without_lb=without, with_lb=with_lb)
+
+
+def _sample_times(result: DVEResult, n: int = 10) -> np.ndarray:
+    start, end = result.cpu.common_window()
+    return np.linspace(start, end, n)
+
+
+def render_fig5e(result: DVEResult) -> str:
+    assert not result.load_balancing
+    from .chart import render_chart
+
+    return (
+        render_series(
+            result.cpu,
+            times=_sample_times(result),
+            title="Figure 5e: CPU consumption per node WITHOUT load balancing (%)",
+        )
+        + "\n\n"
+        + render_chart(result.cpu, y_range=(50, 102), ylabel="CPU %")
+    )
+
+
+def render_fig5f(result: DVEResult) -> str:
+    assert result.load_balancing
+    from .chart import render_chart
+
+    return (
+        render_series(
+            result.cpu,
+            times=_sample_times(result),
+            title="Figure 5f: CPU consumption per node WITH load balancing (%)",
+        )
+        + "\n\n"
+        + render_chart(result.cpu, y_range=(50, 102), ylabel="CPU %")
+    )
+
+
+def render_fig5d(result: DVEResult) -> str:
+    assert result.load_balancing
+    out = render_series(
+        result.procs,
+        times=_sample_times(result),
+        title="Figure 5d: zone-server processes per node (load balancing on)",
+        value_fmt=".0f",
+    )
+    rows = [
+        (f"{e.time:.0f}s", e.process_name, e.source, e.destination,
+         f"{e.freeze_time * 1e3:.1f}")
+        for e in result.migrations
+    ]
+    out += "\n" + render_table(
+        ["time", "process", "from", "to", "freeze (ms)"],
+        rows,
+        title="\nMigrations performed:",
+    )
+    return out
+
+
+def render_comparison(cmp: LoadBalancingComparison) -> str:
+    _s, end = cmp.without_lb.cpu.common_window()
+    after = end * 0.5
+    return render_kv(
+        {
+            "max CPU spread, no LB (%)": cmp.without_lb.max_spread(after),
+            "max CPU spread, LB on (%)": cmp.with_lb.max_spread(after),
+            "spread reduction (%)": cmp.spread_reduction(),
+            "migrations performed": len(cmp.with_lb.migrations),
+            "final loads no LB": {
+                k: round(v, 1) for k, v in cmp.without_lb.final_loads().items()
+            },
+            "final loads LB on": {
+                k: round(v, 1) for k, v in cmp.with_lb.final_loads().items()
+            },
+            "final proc counts (LB)": cmp.with_lb.final_proc_counts(),
+        },
+        title="Load balancing effectiveness (second half of the run):",
+    )

@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot, so a run's output can be compared against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..des import SeriesBundle
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    floatfmt: str = ".2f",
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [
+        [
+            f"{cell:{floatfmt}}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    bundle: SeriesBundle,
+    times: Optional[Sequence[float]] = None,
+    n_points: int = 10,
+    title: str = "",
+    value_fmt: str = ".1f",
+) -> str:
+    """Render a SeriesBundle as rows of (time, one column per series)."""
+    names = bundle.names()
+    if not names:
+        return title + "\n(empty)"
+    if times is None:
+        start, end = bundle.common_window()
+        times = np.linspace(start, end, n_points)
+    rows = [
+        [f"{t:.0f}s"] + [float(bundle[name].value_at(t)) for name in names]
+        for t in times
+    ]
+    return render_table(["time"] + list(names), rows, title=title, floatfmt=value_fmt)
+
+
+def render_kv(pairs: dict, title: str = "") -> str:
+    """Aligned key: value block."""
+    width = max(len(str(k)) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.3f}"
+        lines.append(f"  {str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Checkpoint/restart substrate (Berkeley Lab Checkpoint/Restart analog).
+
+Full-stop checkpointing of simulated processes into byte-accounted
+images and restarting them on any kernel.  Like the original BLCR, this
+layer re-opens regular files and *omits sockets*; the paper's extension
+— socket migration and incremental live checkpointing — lives in
+:mod:`repro.core` and builds on these primitives.
+"""
+
+from .checkpoint import (
+    PAGE_RECORD_OVERHEAD,
+    VMA_RECORD_BYTES,
+    checkpoint_process,
+    dump_file_table,
+    dump_memory_map,
+    dump_pages,
+    dump_thread_context,
+)
+from .image import IMAGE_HEADER_BYTES, CheckpointImage, Section
+from .restart import RestartError, apply_image_state, restart_process
+
+__all__ = [
+    "CheckpointImage",
+    "Section",
+    "IMAGE_HEADER_BYTES",
+    "checkpoint_process",
+    "dump_memory_map",
+    "dump_pages",
+    "dump_file_table",
+    "dump_thread_context",
+    "VMA_RECORD_BYTES",
+    "PAGE_RECORD_OVERHEAD",
+    "restart_process",
+    "apply_image_state",
+    "RestartError",
+]

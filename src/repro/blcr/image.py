@@ -1,0 +1,67 @@
+"""Checkpoint image format.
+
+A checkpoint is a set of named, byte-accounted *sections*.  Byte counts
+matter: Figure 5c of the paper is exactly "bytes transferred during the
+freeze phase", so every piece of state that would cross the wire carries
+an explicit size derived from the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Section", "CheckpointImage", "IMAGE_HEADER_BYTES"]
+
+IMAGE_HEADER_BYTES = 256
+
+
+@dataclass
+class Section:
+    """One named blob inside a checkpoint image."""
+
+    name: str
+    nbytes: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("section size must be non-negative")
+
+
+@dataclass
+class CheckpointImage:
+    """A (possibly partial) process image in flight or at rest."""
+
+    pid: int
+    name: str
+    source_node: str
+    #: Source-node jiffies at checkpoint time — the destination computes
+    #: the delta against its own clock to adjust TCP timestamps.
+    source_jiffies: int
+    nthreads: int
+    sections: dict[str, Section] = field(default_factory=dict)
+
+    def add_section(self, name: str, nbytes: int, payload: Any = None) -> Section:
+        if name in self.sections:
+            raise ValueError(f"duplicate section {name!r}")
+        section = Section(name, nbytes, payload)
+        self.sections[name] = section
+        return section
+
+    def section(self, name: str) -> Section:
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise KeyError(f"image has no section {name!r}") from None
+
+    def has_section(self, name: str) -> bool:
+        return name in self.sections
+
+    @property
+    def total_bytes(self) -> int:
+        return IMAGE_HEADER_BYTES + sum(s.nbytes for s in self.sections.values())
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{s.name}={s.nbytes}B" for s in self.sections.values())
+        return f"<Image pid={self.pid} {self.name!r} from {self.source_node}: {parts}>"

@@ -1,0 +1,115 @@
+"""Process restart from a checkpoint image.
+
+Two modes:
+
+- *fresh restart* (classic BLCR): build a brand-new :class:`SimProcess`
+  on the target kernel from the image;
+- *in-place restore* (live migration): the destination has accumulated
+  incremental page updates for an "embryo" process; the final freeze
+  image rebuilds the kernel-visible state of the migrating process
+  object and the destination kernel adopts it.  Every piece of restored
+  state comes from the image (and staged updates), never from the
+  still-referenced source-side object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..oskern import AddressSpace, FDTable, RegularFile, SimProcess, Thread
+from ..oskern.task import ProcessState
+from .image import CheckpointImage
+
+__all__ = ["restart_process", "apply_image_state", "RestartError"]
+
+
+class RestartError(RuntimeError):
+    """The image cannot be restored on this kernel."""
+
+
+def _rebuild_address_space(
+    vmas: list,
+    pages: dict[int, int],
+) -> AddressSpace:
+    space = AddressSpace()
+    space.load_snapshot(vmas, pages)
+    return space
+
+
+def _rebuild_fdtable(file_records: list) -> FDTable:
+    table = FDTable()
+    for rec in file_records:
+        if rec.get("kind") != "file":
+            raise RestartError(f"unknown FD record kind: {rec!r}")
+        table.install(
+            RegularFile(path=rec["path"], offset=rec["offset"], flags=rec["flags"]),
+            fd=rec["fd"],
+        )
+    return table
+
+
+def _rebuild_threads(thread_records: list) -> list[Thread]:
+    threads = []
+    for rec in thread_records:
+        t = Thread(
+            tid=rec["tid"],
+            registers_version=rec["registers_version"],
+            signal_handlers=dict(rec["signal_handlers"]),
+        )
+        threads.append(t)
+    return threads
+
+
+def apply_image_state(
+    proc: SimProcess,
+    image: CheckpointImage,
+    staged_pages: Optional[dict[int, int]] = None,
+    staged_vmas: Optional[list] = None,
+) -> None:
+    """Replace ``proc``'s kernel-visible state with the image contents.
+
+    ``staged_pages``/``staged_vmas`` carry the incremental updates the
+    destination accumulated during precopy; the image's own sections are
+    the final freeze-phase deltas layered on top.
+    """
+    vmas = image.section("memory_map").payload if image.has_section("memory_map") else staged_vmas
+    if vmas is None:
+        raise RestartError("no memory map available")
+    pages: dict[int, int] = dict(staged_pages or {})
+    if image.has_section("pages"):
+        pages.update(image.section("pages").payload)
+    # Discard pages for since-unmapped areas (free() during precopy).
+    mapped = set()
+    for start, end, _perms, _tag in vmas:
+        mapped.update(range(start, end))
+    pages = {vpn: v for vpn, v in pages.items() if vpn in mapped}
+    missing = mapped - set(pages)
+    if missing:
+        raise RestartError(f"{len(missing)} mapped pages never transferred")
+
+    proc.address_space = _rebuild_address_space(list(vmas), pages)
+    proc.fdtable = _rebuild_fdtable(image.section("files").payload)
+    proc.threads = _rebuild_threads(image.section("threads").payload)
+    if len(proc.threads) != image.nthreads:
+        raise RestartError(
+            f"thread count mismatch: {len(proc.threads)} != {image.nthreads}"
+        )
+
+
+def restart_process(kernel, image: CheckpointImage) -> SimProcess:
+    """Classic BLCR restart: a fresh process on ``kernel`` from a full
+    image.  The caller re-drives application behaviour."""
+    proc = SimProcess.__new__(SimProcess)
+    proc.pid = image.pid
+    proc.name = image.name
+    proc.kernel = kernel
+    proc.state = ProcessState.RUNNING
+    proc._thaw_event = None
+    proc.cpu_demand = 0.0
+    proc.threads = []
+    apply_image_state(proc, image)
+    if image.pid in kernel.processes:
+        raise RestartError(f"pid {image.pid} already exists on {kernel.node_name}")
+    kernel.processes[proc.pid] = proc
+    kernel.cpu.adopt(proc)
+    return proc

@@ -1,0 +1,82 @@
+"""The paper's contribution: process live migration optimized for
+processes with massive numbers of network connections.
+
+- :mod:`precopy` — the live-migration engine (incremental checkpointing
+  with a shrinking loop timeout; freeze-phase barrier/leader protocol);
+- :mod:`strategies` — iterative / collective / incremental-collective
+  socket migration;
+- :mod:`sockmig` — TCP/UDP socket subtraction, tracking and restoration
+  with jiffies-delta timestamp adjustment;
+- :mod:`capture` — incoming packet-loss prevention via netfilter capture
+  and okfn() reinjection on the destination;
+- :mod:`translation` — transd and the local address translation filters
+  for in-cluster peers;
+- :mod:`migd` — the migration daemon and bulk transfer channel;
+- :mod:`tracking` — VMA-list change tracking;
+- :mod:`stats` — migration reports (freeze time, per-phase bytes).
+"""
+
+from .capture import CaptureFilter, CaptureService, capture_key_for, install_capture_service
+from .migd import MIGD_PORT, MigrationChannel, MigrationDaemon, install_migd
+from .precopy import LiveMigrationConfig, LiveMigrationEngine, migrate_process
+from .sockmig import (
+    SocketRecord,
+    SocketStaging,
+    SocketTracker,
+    disable_socket,
+    restore_sockets,
+    subtract_tcp_socket,
+    subtract_udp_socket,
+)
+from .stats import MigrationReport, PhaseBytes
+from .strategies import (
+    CollectiveSocketMigration,
+    IncrementalCollectiveSocketMigration,
+    IterativeSocketMigration,
+    MigrationContext,
+    STRATEGIES,
+    SocketEntry,
+    SocketMigrationStrategy,
+    enumerate_sockets,
+    make_strategy,
+)
+from .tracking import VMADiff, VMATracker
+from .translation import TRANSD_PORT, TransD, TranslationRule, install_transd
+
+__all__ = [
+    "LiveMigrationConfig",
+    "LiveMigrationEngine",
+    "migrate_process",
+    "MigrationReport",
+    "PhaseBytes",
+    "SocketMigrationStrategy",
+    "IterativeSocketMigration",
+    "CollectiveSocketMigration",
+    "IncrementalCollectiveSocketMigration",
+    "STRATEGIES",
+    "make_strategy",
+    "MigrationContext",
+    "SocketEntry",
+    "enumerate_sockets",
+    "SocketRecord",
+    "SocketStaging",
+    "SocketTracker",
+    "subtract_tcp_socket",
+    "subtract_udp_socket",
+    "disable_socket",
+    "restore_sockets",
+    "CaptureService",
+    "CaptureFilter",
+    "capture_key_for",
+    "install_capture_service",
+    "TransD",
+    "TranslationRule",
+    "install_transd",
+    "TRANSD_PORT",
+    "MigrationDaemon",
+    "MigrationChannel",
+    "install_migd",
+    "MIGD_PORT",
+    "VMATracker",
+    "VMADiff",
+]

@@ -1,0 +1,236 @@
+"""The migration daemon (``migd``) and the bulk migration channel.
+
+``migd`` runs on every node and actually carries out migration requests
+(Section II-B): the source-side engine streams precopy rounds and the
+freeze image to the destination's migd, which stages incremental
+updates, installs capture filters, and on the final freeze message
+restores the process — address space, files, threads, sockets (with
+jiffies-delta timestamp adjustment), reinjects captured packets and
+adopts the process into its kernel.
+
+Bulk transfers are chunked onto the control plane so they occupy real
+link time ahead of the request that completes them; acknowledgements
+therefore arrive only after the data has crossed the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..des import Event
+from ..oskern.node import Host
+from .capture import CaptureService, install_capture_service
+from .sockmig import SocketStaging, restore_sockets
+
+__all__ = ["MIGD_PORT", "MigrationChannel", "MigrationDaemon", "install_migd"]
+
+MIGD_PORT = 7100
+
+
+class MigrationChannel:
+    """Source-side sender of sized bulk messages to a peer migd."""
+
+    def __init__(self, source: Host, dest: Host, rpc_timeout: Optional[float] = None) -> None:
+        self.source = source
+        self.dest = dest
+        self.costs = source.kernel.costs
+        self.rpc_timeout = rpc_timeout
+        self.bytes_sent = 0
+
+    def request(self, body: dict, nbytes: int) -> Event:
+        """Send ``body`` accounted as ``nbytes`` on the wire; the event
+        succeeds with the reply once the destination has processed it,
+        or fails with RpcError after the channel timeout."""
+        chunk = self.costs.migration_chunk_bytes
+        remaining = max(nbytes, 1)
+        # Padding chunks occupy the FIFO link ahead of the request.
+        while remaining > chunk:
+            self.source.control.send(
+                self.dest.local_ip, MIGD_PORT, {"op": "chunk"}, size=chunk
+            )
+            remaining -= chunk
+        self.bytes_sent += max(nbytes, 1)
+        return self.source.control.rpc(
+            self.dest.local_ip,
+            MIGD_PORT,
+            body,
+            size=remaining,
+            timeout=self.rpc_timeout,
+        )
+
+    def send(self, body: dict, nbytes: int) -> None:
+        """One-way sized message; FIFO link order guarantees the peer
+        processes it before any later :meth:`request` completes."""
+        chunk = self.costs.migration_chunk_bytes
+        remaining = max(nbytes, 1)
+        while remaining > chunk:
+            self.source.control.send(
+                self.dest.local_ip, MIGD_PORT, {"op": "chunk"}, size=chunk
+            )
+            remaining -= chunk
+        self.bytes_sent += max(nbytes, 1)
+        self.source.control.send(self.dest.local_ip, MIGD_PORT, body, size=remaining)
+
+
+@dataclass
+class _Inbound:
+    """Destination-side staging for one in-flight migration."""
+
+    pid: int
+    name: str
+    source_ip: Any
+    staged_pages: dict[int, int] = field(default_factory=dict)
+    staged_vmas: Optional[list] = None
+    sockets: SocketStaging = field(default_factory=SocketStaging)
+    capture_keys: list = field(default_factory=list)
+    rounds_received: int = 0
+
+
+class MigrationDaemon:
+    """Per-node migd: destination-side protocol handler."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.env = host.env
+        self.capture: CaptureService = install_capture_service(host)
+        self._inbound: dict[int, _Inbound] = {}
+        self.migrations_completed = 0
+        host.control.register(MIGD_PORT, self._handle)
+
+    # -- protocol ------------------------------------------------------------
+    def _handle(self, body: dict, src_ip, respond) -> None:
+        op = body.get("op")
+        if op == "chunk":
+            return  # bulk padding: link time only
+        if op == "begin":
+            self._inbound[body["pid"]] = _Inbound(
+                pid=body["pid"], name=body["name"], source_ip=src_ip
+            )
+            if respond:
+                respond({"ok": True})
+        elif op == "round":
+            st = self._staging(body["pid"])
+            st.staged_pages.update(body.get("pages", {}))
+            if body.get("vmas") is not None:
+                st.staged_vmas = body["vmas"]
+            st.sockets.apply_all(body.get("socket_records", []))
+            st.rounds_received += 1
+            if respond:
+                respond({"ok": True})
+        elif op == "capture":
+            self.env.process(self._do_capture(body, respond), name="migd-capture")
+        elif op == "sockets":
+            st = self._staging(body["pid"])
+            st.sockets.apply_all(body["records"])
+            if respond:
+                respond({"ok": True})
+        elif op == "freeze":
+            self.env.process(self._do_restore(body, respond), name="migd-restore")
+        elif op == "abort":
+            self._abort(body["pid"])
+            if respond:
+                respond({"ok": True})
+        else:
+            if respond:
+                respond(f"migd: unknown op {op!r}", error=True)
+
+    def _staging(self, pid: int) -> _Inbound:
+        try:
+            return self._inbound[pid]
+        except KeyError:
+            raise RuntimeError(f"migd on {self.host.name}: no inbound migration for pid {pid}") from None
+
+    def _abort(self, pid: int) -> None:
+        st = self._inbound.pop(pid, None)
+        if st is not None and st.capture_keys:
+            self.capture.disable(st.capture_keys)
+
+    # -- capture enable ------------------------------------------------------------
+    def _do_capture(self, body: dict, respond):
+        st = self._staging(body["pid"])
+        keys = body["keys"]
+        costs = self.host.kernel.costs
+        yield self.env.timeout(costs.capture_install_cost * max(1, len(keys)))
+        self.capture.enable(keys)
+        st.capture_keys.extend(keys)
+        if respond:
+            respond({"ok": True, "installed": len(keys)})
+
+    # -- the freeze-phase restore ---------------------------------------------------
+    def _do_restore(self, body: dict, respond):
+        from ..blcr import apply_image_state
+
+        pid = body["pid"]
+        st = self._staging(pid)
+        image = body["image"]
+        proc = body["proc"]
+        originals = body.get("originals") or {}
+        local_rewrites = body.get("local_rewrites") or {}
+        costs = self.host.kernel.costs
+        kernel = self.host.kernel
+
+        # Apply incremental + final memory state.
+        apply_image_state(
+            proc, image, staged_pages=st.staged_pages, staged_vmas=st.staged_vmas
+        )
+        n_final_pages = len(image.section("pages").payload) if image.has_section("pages") else 0
+        yield self.env.timeout(costs.page_dump_cost * n_final_pages)
+
+        # Restore sockets with the jiffies-delta timestamp adjustment.
+        jiffies_delta = kernel.jiffies.jiffies - image.source_jiffies
+        if not body.get("adjust_timestamps", True):
+            jiffies_delta = 0  # ablation: pretend the clocks agree
+        restored = restore_sockets(
+            kernel.stack,
+            proc,
+            st.sockets,
+            jiffies_delta,
+            local_ip_rewrite=local_rewrites,
+            originals=originals,
+        )
+        restore_cost = 0.0
+        for sock in restored:
+            from ..tcpip import TCPSocket
+
+            restore_cost += (
+                costs.tcp_restore_cost
+                if isinstance(sock, TCPSocket)
+                else costs.udp_restore_cost
+            )
+        yield self.env.timeout(restore_cost)
+
+        # Reinject captured packets through okfn() (Section V-B).
+        reinjected = 0
+        keys = list(st.capture_keys)
+        reinject_cpu = sum(self.capture.reinject_cost(k) for k in keys)
+        if reinject_cpu:
+            yield self.env.timeout(reinject_cpu)
+        captured_total = sum(self.capture.queue_length(k) for k in keys)
+        for key in keys:
+            reinjected += self.capture.reinject(key)
+
+        # Adopt the process and resume execution on this node.
+        kernel.adopt_process(proc)
+        proc.thaw()
+        self._inbound.pop(pid, None)
+        self.migrations_completed += 1
+        if respond:
+            respond(
+                {
+                    "ok": True,
+                    "thawed_at": self.env.now,
+                    "captured": captured_total,
+                    "reinjected": reinjected,
+                    "jiffies_delta": jiffies_delta,
+                }
+            )
+
+
+def install_migd(host: Host) -> MigrationDaemon:
+    """Install (or fetch) the migration daemon on a host."""
+    daemon = host.daemons.get("migd")
+    if daemon is None:
+        daemon = MigrationDaemon(host)
+        host.daemons["migd"] = daemon
+    return daemon

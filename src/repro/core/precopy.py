@@ -1,0 +1,395 @@
+"""The process live-migration engine (Sections III-A, V-A).
+
+Precopy: a helper thread transfers the memory map and all pages, then
+loops — tracking dirty pages and address-space changes (and, with the
+incremental-collective strategy, socket deltas) — with the loop timeout
+halving each iteration.  When the timeout reaches the freeze threshold
+(20 ms in the paper), the application threads are signalled for final
+checkpointing: they abandon any in-flight syscalls (leaving socket
+backlogs/prequeues empty), synchronize on a barrier, and the leader
+transfers the final dirty pages, open-file table, socket state (per the
+configured strategy) and per-thread execution context.  The destination
+migd restores everything, reinjets captured packets and resumes the
+process; only this freeze phase is downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..blcr import CheckpointImage, dump_file_table, dump_pages, dump_thread_context
+from ..blcr.checkpoint import VMA_RECORD_BYTES
+from ..des import Process
+from ..oskern import RpcError, SimProcess
+from ..oskern.node import Host
+from .migd import MIGD_PORT, MigrationChannel, install_migd
+from .sockmig import SocketTracker
+from .stats import MigrationReport
+from .strategies import MigrationContext, SocketMigrationStrategy, make_strategy
+from .tracking import VMATracker
+
+__all__ = ["LiveMigrationConfig", "LiveMigrationEngine", "migrate_process"]
+
+
+@dataclass(frozen=True)
+class LiveMigrationConfig:
+    """Tunables of the live-migration mechanism."""
+
+    strategy: Union[str, SocketMigrationStrategy] = "incremental-collective"
+    #: First precopy round's loop timeout (seconds).
+    initial_round_timeout: float = 0.32
+    #: Multiplier applied to the loop timeout each round.
+    timeout_decay: float = 0.5
+    #: Freeze once the loop timeout drops to/below this (paper: 20 ms).
+    freeze_threshold: float = 0.020
+    #: Safety bound on precopy rounds.
+    max_rounds: int = 16
+    #: Packet-loss prevention on/off (Section III-B).
+    capture_enabled: bool = True
+    #: Signal-based (True) vs. kernel-initiated (False) checkpointing.
+    signal_based: bool = True
+    #: With kernel-initiated checkpointing, whether the backlog and
+    #: prequeue are dumped too.  False models a naive implementation
+    #: that handles only the three main queues — queued packets are
+    #: then silently dropped and TCP must recover by retransmission.
+    dump_user_queues: bool = True
+    #: Negative control: skip the jiffies-delta timestamp adjustment on
+    #: restore (Section V-C.1) — TCP timestamps then jump, breaking RTT
+    #: estimation and (when the destination booted later) PAWS checks.
+    adjust_timestamps: bool = True
+    #: Give up on the destination after this much protocol silence and
+    #: roll the process back on the source (None disables the timeout).
+    rpc_timeout: Optional[float] = 30.0
+
+    def with_overrides(self, **kw) -> "LiveMigrationConfig":
+        return replace(self, **kw)
+
+
+class LiveMigrationEngine:
+    """Source-side driver of one live migration."""
+
+    def __init__(
+        self,
+        source: Host,
+        dest: Host,
+        proc: SimProcess,
+        config: Optional[LiveMigrationConfig] = None,
+    ) -> None:
+        if proc.kernel is not source.kernel:
+            raise ValueError(f"{proc} does not run on {source.name}")
+        if source is dest:
+            raise ValueError("source and destination are the same node")
+        self.source = source
+        self.dest = dest
+        self.proc = proc
+        self.config = config or LiveMigrationConfig()
+        self.env = source.env
+        self.costs = source.kernel.costs
+        install_migd(source)
+        install_migd(dest)
+        from .translation import install_transd
+
+        install_transd(source)
+        install_transd(dest)
+        self.strategy = make_strategy(self.config.strategy)
+        self.report = MigrationReport(
+            strategy=self.strategy.name,
+            source=source.name,
+            destination=dest.name,
+            pid=proc.pid,
+            process_name=proc.name,
+        )
+        self.channel = MigrationChannel(
+            source, dest, rpc_timeout=self.config.rpc_timeout
+        )
+        self.ctx = MigrationContext(
+            source=source,
+            dest=dest,
+            proc=proc,
+            channel=self.channel,
+            tracker=SocketTracker(self.costs),
+            report=self.report,
+            costs=self.costs,
+            capture_enabled=self.config.capture_enabled,
+            signal_based=self.config.signal_based,
+            dump_user_queues=self.config.dump_user_queues,
+            rpc_timeout=self.config.rpc_timeout,
+        )
+        self._vma_tracker = VMATracker()
+
+    # -- public API -----------------------------------------------------------
+    def start(self) -> Process:
+        """Spawn the migration as a DES process; its value is the report."""
+        return self.env.process(self._run(), name=f"migrate-{self.proc.pid}")
+
+    # -- the protocol ------------------------------------------------------------
+    def _run(self):
+        cfg = self.config
+        costs = self.costs
+        proc = self.proc
+        space = proc.address_space
+        report = self.report
+        report.started_at = self.env.now
+
+        try:
+            # Live-checkpoint request: signal, clone the helper thread,
+            # application threads return from the handler (Fig. 3).
+            helper = proc.clone_thread()
+            yield self.env.timeout(costs.signal_cost * len(proc.threads))
+
+            yield self.channel.request(
+                {
+                    "op": "begin",
+                    "pid": proc.pid,
+                    "name": proc.name,
+                    "nthreads": len(proc.threads) - 1,  # helper does not migrate
+                },
+                256,
+            )
+
+            # ---- precopy loop (helper thread, app keeps running) ----
+            round_timeout = cfg.initial_round_timeout
+            while round_timeout > cfg.freeze_threshold and report.precopy_rounds < cfg.max_rounds:
+                round_start = self.env.now
+                first = report.precopy_rounds == 0
+
+                vdiff = self._vma_tracker.scan(space)
+                pages, page_bytes = dump_pages(proc, dirty_only=not first)
+                sock_records, sock_cpu = self.strategy.precopy_records(self.ctx)
+
+                cpu = (
+                    self._vma_tracker.compare_cost(space, costs.vma_compare_cost)
+                    + costs.pte_scan_cost * space.total_pages
+                    + costs.page_dump_cost * len(pages)
+                    + sock_cpu
+                    + costs.round_overhead
+                )
+                yield self.env.timeout(cpu)
+
+                vma_bytes = VMA_RECORD_BYTES * len(space.vmas) if first else vdiff.record_bytes()
+                sock_bytes = sum(r.nbytes for r in sock_records)
+                nbytes = page_bytes + vma_bytes + sock_bytes
+                yield self.channel.request(
+                    {
+                        "op": "round",
+                        "pid": proc.pid,
+                        "pages": pages,
+                        "vmas": self._vma_tracker.current_map(space)
+                        if (first or not vdiff.empty)
+                        else None,
+                        "socket_records": sock_records,
+                    },
+                    nbytes,
+                )
+                report.bytes.precopy_pages += page_bytes
+                report.bytes.precopy_vmas += vma_bytes
+                report.bytes.precopy_sockets += sock_bytes
+                report.precopy_rounds += 1
+
+                elapsed = self.env.now - round_start
+                if elapsed < round_timeout:
+                    yield self.env.timeout(round_timeout - elapsed)
+                round_timeout *= cfg.timeout_decay
+
+            # ---- freeze phase ----
+            yield self.env.timeout(costs.signal_cost * (len(proc.threads) - 1))
+            proc.deliver_checkpoint_signal()
+            if cfg.signal_based:
+                # Returning to userspace released socket locks and
+                # drained prequeues; make the invariant explicit.
+                for sock in proc.sockets():
+                    sock.force_userspace()
+            proc.freeze()
+            report.frozen_at = self.env.now
+            yield self.env.timeout(costs.barrier_cost * len(proc.threads))
+
+            # If any of this process's in-cluster peers migrated earlier,
+            # this host's transd holds the filters rewriting our traffic
+            # to them; those filters move with the process, and must be
+            # active on the destination *before* capture starts so that
+            # captured packets match the socket's logical addresses.
+            yield from self._relocate_peer_rules()
+
+            # Socket migration per the configured strategy.
+            yield from self.strategy.freeze_sockets(self.ctx)
+
+            # Leader thread: final memory delta + file table + threads.
+            self._vma_tracker.scan(space)
+            pages, page_bytes = dump_pages(proc, dirty_only=True)
+            files, file_bytes = dump_file_table(proc)
+            proc.reap_thread(helper)
+            threads, thread_bytes = dump_thread_context(proc)
+            vma_map = self._vma_tracker.current_map(space)
+            vma_bytes = VMA_RECORD_BYTES * len(vma_map)
+            yield self.env.timeout(
+                costs.page_dump_cost * len(pages)
+                + costs.file_entry_cost * len(files)
+                + costs.thread_ctx_cost * len(threads)
+            )
+
+            image = CheckpointImage(
+                pid=proc.pid,
+                name=proc.name,
+                source_node=self.source.name,
+                source_jiffies=self.source.kernel.jiffies.jiffies,
+                nthreads=len(proc.threads),
+            )
+            image.add_section("memory_map", vma_bytes, vma_map)
+            image.add_section("pages", page_bytes, pages)
+            image.add_section("files", file_bytes, files)
+            image.add_section("threads", thread_bytes, threads)
+
+            report.bytes.freeze_pages += page_bytes
+            report.bytes.freeze_vmas += vma_bytes
+            report.bytes.freeze_files += file_bytes
+            report.bytes.freeze_threads += thread_bytes
+
+            # The process leaves this kernel: no residual dependencies.
+            self.source.kernel.remove_process(proc)
+
+            reply = yield self.channel.request(
+                {
+                    "op": "freeze",
+                    "pid": proc.pid,
+                    "image": image,
+                    "proc": proc,
+                    "originals": self.ctx.originals,
+                    "local_rewrites": {self.source.local_ip: self.dest.local_ip},
+                    "adjust_timestamps": cfg.adjust_timestamps,
+                },
+                image.total_bytes,
+            )
+            report.thawed_at = reply["thawed_at"]
+            report.packets_captured = reply["captured"]
+            report.packets_reinjected = reply["reinjected"]
+            report.jiffies_delta = reply["jiffies_delta"]
+            report.finished_at = self.env.now
+            report.success = True
+            return report
+
+        except RpcError as exc:
+            # The destination (or a transd peer) stopped answering:
+            # abort and roll the process back on the source.  Clients
+            # see at most an RTO-length blip while the sockets were
+            # unhashed; nothing is lost permanently.
+            report.error = f"aborted: {exc}"
+            report.finished_at = self.env.now
+            report.success = False
+            self._rollback()
+            return report
+        except Exception as exc:  # pragma: no cover - defensive
+            report.error = f"{type(exc).__name__}: {exc}"
+            report.finished_at = self.env.now
+            if proc.is_frozen:
+                proc.thaw()
+            raise
+
+    # -- peer-rule relocation (both-endpoints-migratable support) -------------
+    def _local_conn_keys(self) -> list:
+        """(remote ip, remote port, local port) of every in-cluster
+        connection of the migrating process."""
+        keys = []
+        prefix = self.source.kernel.local_prefix
+        for sock in self.proc.sockets():
+            if sock.remote is not None and sock.remote.ip.value.startswith(prefix):
+                keys.append((sock.remote.ip, sock.remote.port, sock.local.port))
+        return keys
+
+    def _relocate_peer_rules(self):
+        from .translation import TRANSD_PORT, install_transd
+
+        source_transd = install_transd(self.source)
+        conn_keys = self._local_conn_keys()
+        # Snapshot each peer's physical host *before* taking the rules:
+        # the strategy's translation requests must still resolve them.
+        for key in conn_keys:
+            self.ctx.peer_physical[key] = source_transd.resolve_physical(*key)
+        # Tombstones + rule removal happen atomically (same instant):
+        # any install arriving later is forwarded to the destination,
+        # which closes the race when both endpoints migrate at once.
+        self._tombstone_keys = [
+            (local_port, remote_ip, remote_port)
+            for remote_ip, remote_port, local_port in conn_keys
+        ]
+        for tkey in self._tombstone_keys:
+            source_transd.add_tombstone(tkey, self.dest.local_ip)
+        self._relocated_rules = source_transd.take_rules_for(conn_keys)
+        for rule in self._relocated_rules:
+            yield self.source.control.rpc(
+                self.dest.local_ip,
+                TRANSD_PORT,
+                {"op": "install", "rule": rule},
+                size=96,
+                timeout=self.config.rpc_timeout,
+            )
+        if self._tombstone_keys:
+            # The process is (about to be) at the destination: clear any
+            # stale departure records there so installs are not bounced
+            # back on a return migration.
+            yield self.source.control.rpc(
+                self.dest.local_ip,
+                TRANSD_PORT,
+                {"op": "arrived", "keys": self._tombstone_keys},
+                size=96,
+                timeout=self.config.rpc_timeout,
+            )
+
+    # -- abort/rollback ---------------------------------------------------------
+    def _rollback(self) -> None:
+        """Restore the source node to its pre-migration state."""
+        from .sockmig import reenable_socket
+        from .translation import TRANSD_PORT, TranslationRule
+
+        proc = self.proc
+        kernel = self.source.kernel
+        # Best effort: tell the destination to drop its staging/filters.
+        self.source.control.send(
+            self.dest.local_ip, MIGD_PORT, {"op": "abort", "pid": proc.pid}
+        )
+        # Re-register the process if the freeze message already took it
+        # off this kernel.
+        if proc.pid not in kernel.processes:
+            proc.kernel = kernel
+            kernel.processes[proc.pid] = proc
+            kernel.cpu.adopt(proc)
+        # Rehash every socket that was already subtracted, and retract
+        # any translation filters pointing at the failed destination.
+        for sock in self.ctx.originals.values():
+            reenable_socket(sock)
+            if self.ctx.is_local_peer(sock):
+                rule = TranslationRule(
+                    old_ip=sock.orig_local_ip or sock.local.ip,
+                    new_ip=self.dest.local_ip,
+                    mig_port=sock.local.port,
+                    peer_port=sock.remote.port,
+                )
+                self.source.control.send(
+                    sock.remote.ip, TRANSD_PORT, {"op": "remove", "rule": rule}, size=96
+                )
+        # Re-install any peer rules that were relocated to the failed
+        # destination, drop the departure records, and tell the failed
+        # node to discard its copies.
+        from .translation import install_transd
+
+        source_transd = install_transd(self.source)
+        for tkey in getattr(self, "_tombstone_keys", []):
+            source_transd.clear_tombstone(tkey)
+        for rule in getattr(self, "_relocated_rules", []):
+            source_transd.install(rule)
+            self.source.control.send(
+                self.dest.local_ip, TRANSD_PORT, {"op": "remove", "rule": rule}, size=96
+            )
+        if proc.is_frozen:
+            proc.thaw()
+
+
+def migrate_process(
+    source: Host,
+    dest: Host,
+    proc: SimProcess,
+    config: Optional[LiveMigrationConfig] = None,
+) -> Process:
+    """Convenience: build an engine and start it; the returned DES
+    process's value is the :class:`MigrationReport`."""
+    return LiveMigrationEngine(source, dest, proc, config).start()

@@ -1,0 +1,110 @@
+"""Migration reports: everything the evaluation section measures.
+
+Figure 5b plots process freeze time, Figure 5c the socket bytes
+transferred during the freeze phase; the report records both, plus
+per-phase byte/round breakdowns used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["PhaseBytes", "MigrationReport"]
+
+
+@dataclass
+class PhaseBytes:
+    """Byte counters split by migration phase."""
+
+    precopy_pages: int = 0
+    precopy_vmas: int = 0
+    precopy_sockets: int = 0
+    freeze_pages: int = 0
+    freeze_vmas: int = 0
+    freeze_sockets: int = 0
+    freeze_files: int = 0
+    freeze_threads: int = 0
+    capture_requests: int = 0
+
+    @property
+    def precopy_total(self) -> int:
+        return self.precopy_pages + self.precopy_vmas + self.precopy_sockets
+
+    @property
+    def freeze_total(self) -> int:
+        return (
+            self.freeze_pages
+            + self.freeze_vmas
+            + self.freeze_sockets
+            + self.freeze_files
+            + self.freeze_threads
+        )
+
+    @property
+    def total(self) -> int:
+        return self.precopy_total + self.freeze_total + self.capture_requests
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one live migration."""
+
+    strategy: str
+    source: str
+    destination: str
+    pid: int
+    process_name: str
+    n_tcp_sockets: int = 0
+    n_udp_sockets: int = 0
+    n_local_connections: int = 0
+    #: Simulated time the migration started / app froze / app thawed.
+    started_at: float = 0.0
+    frozen_at: float = 0.0
+    thawed_at: float = 0.0
+    finished_at: float = 0.0
+    precopy_rounds: int = 0
+    bytes: PhaseBytes = field(default_factory=PhaseBytes)
+    #: Captured/reinjected packet counts on the destination.
+    packets_captured: int = 0
+    packets_reinjected: int = 0
+    #: Jiffies delta applied to restored socket timestamps.
+    jiffies_delta: Optional[int] = None
+    success: bool = False
+    error: str = ""
+
+    @property
+    def freeze_time(self) -> float:
+        """Process downtime: the interval the application was frozen."""
+        return self.thawed_at - self.frozen_at
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock of the whole migration including precopy."""
+        return self.finished_at - self.started_at
+
+    @property
+    def n_sockets(self) -> int:
+        return self.n_tcp_sockets + self.n_udp_sockets
+
+    def to_dict(self) -> dict:
+        """Flat, JSON-serializable view for logging/tooling."""
+        from dataclasses import asdict
+
+        out = asdict(self)
+        out["freeze_time"] = self.freeze_time
+        out["total_time"] = self.total_time
+        out["n_sockets"] = self.n_sockets
+        out["bytes"]["precopy_total"] = self.bytes.precopy_total
+        out["bytes"]["freeze_total"] = self.bytes.freeze_total
+        out["bytes"]["total"] = self.bytes.total
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.process_name} {self.source}->{self.destination} "
+            f"sockets={self.n_sockets} rounds={self.precopy_rounds} "
+            f"freeze={self.freeze_time * 1e3:.2f}ms total={self.total_time * 1e3:.1f}ms "
+            f"freeze_bytes={self.bytes.freeze_total} "
+            f"(sockets={self.bytes.freeze_sockets})"
+        )

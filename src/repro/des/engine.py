@@ -1,0 +1,146 @@
+"""The discrete-event simulation environment (clock + event heap)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised (internally) when the event heap runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to stop :meth:`Environment.run` when its ``until`` event fires."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event._ok:
+            raise cls(event._value)
+        raise event._value
+
+
+class Environment:
+    """Execution environment of a simulation.
+
+    Time passes only by processing events: :attr:`now` jumps from one
+    scheduled event to the next.  All simulated components (kernels, NICs,
+    daemons) share one environment.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        #: Event processed most recently (debugging aid).
+        self._active_proc: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process whose generator is currently executing, if any."""
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Spawn a new simulated process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue ``event`` for processing after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An un-handled failure crashes the simulation: it is a bug in
+            # the model, never a modelled condition.
+            exc = event._value
+            raise exc
+
+    # -- run loop -----------------------------------------------------------
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a point in simulated time, an :class:`Event`
+        (return its value once it is processed), or ``None`` (run until
+        the heap is empty).
+        """
+        at: Optional[Event]
+        if until is None:
+            at = None
+        elif isinstance(until, Event):
+            at = until
+            if at.callbacks is None:
+                # Already processed: nothing to run.
+                return at.value
+            at.callbacks.append(StopSimulation.callback)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until ({horizon}) must not be earlier than now ({self._now})"
+                )
+            at = Event(self)
+            at._ok = True
+            at._value = None
+            # URGENT so the horizon event beats same-time NORMAL events.
+            self.schedule(at, delay=horizon - self._now, priority=URGENT)
+            at.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if at is not None and not at.triggered:
+                if isinstance(until, Event):
+                    raise RuntimeError(
+                        "simulation ran out of events before the 'until' "
+                        "event was triggered"
+                    ) from None
+            return None

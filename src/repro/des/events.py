@@ -1,0 +1,273 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The design follows the classic callback-event model (as popularized by
+SimPy): an :class:`Event` is a one-shot value container that may *succeed*
+or *fail*; callbacks registered on it run when the environment processes
+it.  Composite conditions (:class:`AllOf`, :class:`AnyOf`) allow processes
+to wait on several events at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "EventAlreadyTriggered",
+]
+
+#: Sentinel stored in :attr:`Event._value` before the event has a value.
+PENDING = object()
+
+#: Scheduling priorities (lower runs first at equal simulation time).
+URGENT = 0
+NORMAL = 1
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when succeed/fail is called on an already-triggered event."""
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Events move through three states: *pending* (just created),
+    *triggered* (scheduled with a value, sitting in the event heap) and
+    *processed* (callbacks have run).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks run when the event is processed.  ``None`` afterwards.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (has a value)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful when triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance when failed)."""
+        if self._value is PENDING:
+            raise AttributeError("value of untriggered event is not available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every process waiting on the event.
+        If nobody waits, the environment raises it at processing time
+        (unless :meth:`defused` is set).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state/value of another event.
+
+        Useful as a callback to chain events.
+        """
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- failure bookkeeping ----------------------------------------------
+    @property
+    def defused(self) -> bool:
+        """True if a failed event's exception has been handled."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the env does not crash."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of event -> value produced by a condition.
+
+    Preserves the order in which events were passed to the condition so
+    that ``list(result.values())`` is deterministic.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self) -> list[Event]:
+        return list(self.events)
+
+    def values(self) -> list[Any]:
+        return [e.value for e in self.events]
+
+    def items(self):
+        return [(e, e.value) for e in self.events]
+
+    def todict(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event that triggers when ``evaluate`` says so.
+
+    ``evaluate(events, count)`` receives the tuple of sub-events and the
+    number already processed; returns True when the condition holds.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[tuple[Event, ...], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = tuple(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        # Immediately true for an empty set of events.
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        # ``processed`` (not ``triggered``): a Timeout is triggered at
+        # construction, long before it actually fires.
+        return ConditionValue([e for e in self._events if e.processed])
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # Any sub-event failure fails the whole condition.
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: tuple[Event, ...], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: tuple[Event, ...], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Triggers when *all* of the given events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers when *any* of the given events has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,123 @@
+"""Time-series recorders for experiment output.
+
+Figures 5d/5e/5f of the paper are time series (per-node CPU utilisation,
+per-node process counts); :class:`TimeSeries` collects those samples and
+offers simple resampling/summary helpers for the report renderers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["TimeSeries", "SeriesBundle"]
+
+
+class TimeSeries:
+    """Append-only (time, value) sequence with nondecreasing time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time must be nondecreasing: {time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def value_at(self, time: float) -> float:
+        """Step-interpolated value at ``time`` (last sample <= time)."""
+        if not self._times:
+            raise ValueError("empty series")
+        idx = bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self._values[idx]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with start <= t <= end."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if start <= t <= end:
+                out.record(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return float(np.mean(self._values))
+
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return float(np.max(self._values))
+
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return float(np.min(self._values))
+
+    def resample(self, times: Iterable[float]) -> np.ndarray:
+        """Step-interpolate onto an arbitrary time grid."""
+        return np.asarray([self.value_at(t) for t in times])
+
+
+class SeriesBundle:
+    """A named collection of :class:`TimeSeries` (one per node, say)."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = TimeSeries(name)
+            self._series[name] = s
+        return s
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def spread_at(self, time: float) -> float:
+        """Max-min across all series at ``time`` (imbalance metric)."""
+        vals = [s.value_at(time) for s in self._series.values()]
+        if not vals:
+            raise ValueError("empty bundle")
+        return max(vals) - min(vals)
+
+    def common_window(self) -> tuple[float, float]:
+        """Latest start / earliest end across series."""
+        starts, ends = [], []
+        for s in self._series.values():
+            if len(s):
+                starts.append(s.times[0])
+                ends.append(s.times[-1])
+        if not starts:
+            raise ValueError("empty bundle")
+        return max(starts), min(ends)

@@ -1,0 +1,144 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a Python generator: every ``yield`` hands the
+environment an :class:`~repro.des.events.Event` to wait for; when the
+event is processed, its value is sent back into the generator (or the
+exception thrown, for failed events).  Processes are themselves events and
+succeed with the generator's return value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import PENDING, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries
+    arbitrary context from the interrupter.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Process(Event):
+    """A running simulated activity wrapping a generator."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: Event this process currently waits on (None once finished).
+        self._target: Optional[Event] = None
+
+        # Kick off the generator via an immediately-scheduled init event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, priority=URGENT)
+        self._target = init
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it resumes queues both interrupts.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defuse()
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    # -- driver -------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            # The process terminated while an interrupt was in flight.
+            return
+
+        env = self.env
+        prev_active, env._active_proc = env._active_proc, self
+
+        # Detach from the awaited event so stale wakeups are ignored.
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    # Mark handled; the generator may re-raise.
+                    event.defuse()
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_target, Event):
+                self._ok = False
+                self._value = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_target!r}"
+                )
+                env.schedule(self)
+                break
+
+            if next_target.callbacks is not None:
+                # Not yet processed: register and go to sleep.
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                break
+
+            # Already processed: loop and feed its value in immediately.
+            event = next_target
+
+        env._active_proc = prev_active
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"

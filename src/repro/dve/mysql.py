@@ -1,0 +1,53 @@
+"""A MySQL-like database server on the cluster-local network.
+
+Zone servers each hold a TCP session to it and repeatedly update the
+persistent state of the virtual world (Section VI-C).  The DB host runs
+``transd`` so sessions survive zone-server migrations without the DB
+noticing (Section III-C).
+"""
+
+from __future__ import annotations
+
+from ..core import install_transd
+from ..oskern.node import Host
+from ..tcpip import EOF, TCPSocket
+
+__all__ = ["MySQLServer", "MYSQL_PORT"]
+
+MYSQL_PORT = 3306
+
+
+class MySQLServer:
+    """Accepts sessions and answers every query with a result set."""
+
+    def __init__(self, host: Host, result_bytes: int = 320) -> None:
+        self.host = host
+        self.env = host.env
+        self.result_bytes = result_bytes
+        self.proc = host.kernel.spawn_process("mysqld")
+        self.listener = host.stack.tcp_socket(self.proc)
+        self.listener.bind(MYSQL_PORT, ip=host.local_ip)
+        self.listener.listen()
+        self.transd = install_transd(host)
+        self.sessions: list[TCPSocket] = []
+        self.queries_served = 0
+        self.env.process(self._accept_loop(), name="mysqld-accept")
+
+    def _accept_loop(self):
+        while True:
+            session = yield self.listener.accept()
+            self.sessions.append(session)
+            self.env.process(self._session_loop(session), name="mysqld-session")
+
+    def _session_loop(self, session: TCPSocket):
+        while True:
+            skb = yield session.recv()
+            if skb.payload is EOF:
+                self.sessions.remove(session)
+                return
+            self.queries_served += 1
+            session.send(("result", self.queries_served), self.result_bytes)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.sessions)

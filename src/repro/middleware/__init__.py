@@ -1,0 +1,52 @@
+"""Decentralized load-balancing middleware (Section IV).
+
+Per-node conductor daemons discover each other, exchange periodic load
+heartbeats, and perform sender-initiated process migrations governed by
+the transfer / location / selection / information policies, with a
+two-phase-commit admission on the receiver and calm-down periods after
+each migration.
+"""
+
+from .conductor import (
+    CONDUCTOR_PORT,
+    Conductor,
+    ConductorConfig,
+    install_conductor,
+)
+from .conductor import MigrationEvent
+from .consolidation import ConsolidationConfig, Consolidator
+from .loadinfo import LoadInfo, PeerDatabase
+from .monitor import LoadMonitor
+from .policies import (
+    InformationPolicy,
+    LargestProcessSelectionPolicy,
+    LeastLoadedLocationPolicy,
+    LocationPolicy,
+    PolicyConfig,
+    RandomLocationPolicy,
+    SelectionPolicy,
+    TransferPolicy,
+)
+from .twophase import MigrationSlot
+
+__all__ = [
+    "LoadInfo",
+    "PeerDatabase",
+    "LoadMonitor",
+    "PolicyConfig",
+    "TransferPolicy",
+    "LocationPolicy",
+    "LeastLoadedLocationPolicy",
+    "RandomLocationPolicy",
+    "SelectionPolicy",
+    "LargestProcessSelectionPolicy",
+    "InformationPolicy",
+    "MigrationSlot",
+    "Conductor",
+    "ConductorConfig",
+    "MigrationEvent",
+    "CONDUCTOR_PORT",
+    "install_conductor",
+    "Consolidator",
+    "ConsolidationConfig",
+]

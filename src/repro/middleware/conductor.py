@@ -1,0 +1,291 @@
+"""The conductor daemon (``cond``, Section IV).
+
+One per node.  It discovers its peers on the cluster network, monitors
+local resource consumption (via the atop-like :class:`LoadMonitor`),
+broadcasts periodic load heartbeats, and — being sender-initiated —
+decides when to shed a process: transfer policy says *whether*, location
+policy says *where*, selection policy says *which*, and a two-phase
+commit with the receiver's conductor guards admission.  The actual
+transfer is carried out by the migration daemon (:mod:`repro.core.migd`)
+through :class:`~repro.core.precopy.LiveMigrationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Optional
+
+from ..core import LiveMigrationConfig, LiveMigrationEngine, MigrationReport
+from ..net import IPAddr
+from ..oskern import SimProcess
+from ..oskern.node import Host
+from .loadinfo import LoadInfo, PeerDatabase
+from .monitor import LoadMonitor
+from .policies import (
+    InformationPolicy,
+    LocationPolicy,
+    PolicyConfig,
+    SelectionPolicy,
+    TransferPolicy,
+)
+from .twophase import MigrationSlot
+
+__all__ = ["CONDUCTOR_PORT", "ConductorConfig", "Conductor", "install_conductor"]
+
+CONDUCTOR_PORT = 7300
+
+
+@dataclass
+class ConductorConfig:
+    """Conductor tunables."""
+
+    policies: PolicyConfig = dataclass_field(default_factory=PolicyConfig)
+    migration: LiveMigrationConfig = dataclass_field(default_factory=LiveMigrationConfig)
+    #: Balance-decision period (seconds).
+    check_interval: float = 1.0
+    #: atop sampling period.
+    monitor_interval: float = 1.0
+    #: Heartbeats older than this mark a departed peer.
+    peer_stale_timeout: float = 5.0
+    #: Indicator stabilisation period after a migration (Section IV-A).
+    calm_down: float = 10.0
+    #: How many ranked receiver candidates to try per round.
+    max_candidates: int = 3
+    #: Policy overrides (defaults: the paper's opposite-side-of-average
+    #: location policy and difference-matched selection policy).
+    location_policy: Optional[LocationPolicy] = None
+    selection_policy: Optional[SelectionPolicy] = None
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """A completed (or failed) migration, for the experiment logs."""
+
+    time: float
+    pid: int
+    process_name: str
+    source: str
+    destination: str
+    freeze_time: float
+    success: bool
+
+
+class Conductor:
+    """The per-node load-balancing daemon."""
+
+    def __init__(
+        self,
+        host: Host,
+        scan_ips: list[IPAddr],
+        resolve_host: Callable[[IPAddr], Host],
+        config: Optional[ConductorConfig] = None,
+    ) -> None:
+        self.host = host
+        self.env = host.env
+        self.config = config or ConductorConfig()
+        cfg = self.config
+        self.resolve_host = resolve_host
+        self.scan_ips = [ip for ip in scan_ips if ip != host.local_ip]
+
+        self.monitor = LoadMonitor(host, interval=cfg.monitor_interval)
+        self.peers = PeerDatabase(stale_timeout=cfg.peer_stale_timeout)
+        self.slot = MigrationSlot(self.env, calm_down=cfg.calm_down)
+        self.transfer = TransferPolicy(cfg.policies)
+        self.location = cfg.location_policy or LocationPolicy(cfg.policies)
+        self.selection = cfg.selection_policy or SelectionPolicy(cfg.policies)
+        self.information = InformationPolicy(cfg.policies)
+
+        #: Zone-server processes this conductor may migrate.
+        self.managed: list[SimProcess] = []
+        self.events: list[MigrationEvent] = []
+        self.migrations_initiated = 0
+        self.migrations_received = 0
+        self.reserve_rejections = 0
+        self.enabled = True
+
+        host.control.register(CONDUCTOR_PORT, self._handle)
+        self.env.process(self._discover(), name=f"cond-discover-{host.name}")
+        self.env.process(self._heartbeat_loop(), name=f"cond-heartbeat-{host.name}")
+        self.env.process(self._balance_loop(), name=f"cond-balance-{host.name}")
+
+    # -- management ------------------------------------------------------------
+    def manage(self, proc: SimProcess) -> None:
+        if proc not in self.managed:
+            self.managed.append(proc)
+
+    def unmanage(self, proc: SimProcess) -> None:
+        if proc in self.managed:
+            self.managed.remove(proc)
+
+    def leave(self) -> None:
+        """Graceful departure: notify peers and go quiet.
+
+        Peers drop this node immediately instead of waiting for its
+        heartbeats to go stale; the balance loop stops initiating.
+        """
+        self.enabled = False
+        for peer in self.peers.peers():
+            self.host.control.send(
+                peer.local_ip, CONDUCTOR_PORT, {"op": "leave"}, size=32
+            )
+        self.peers._peers.clear()  # stop heartbeating to anyone
+        self.host.control.unregister(CONDUCTOR_PORT)
+
+    def load_info(self) -> LoadInfo:
+        return LoadInfo(
+            node_name=self.host.name,
+            local_ip=self.host.local_ip,
+            cpu_percent=self.monitor.current_load(),
+            nprocs=len(self.managed),
+            timestamp=self.env.now,
+        )
+
+    # -- protocol handler ----------------------------------------------------------
+    def _handle(self, body: dict, src_ip: IPAddr, respond) -> None:
+        op = body.get("op")
+        if op == "discover":
+            # Mutual exchange: learn the prober, tell it about us.
+            self.peers.update(body["info"])
+            if respond:
+                respond({"info": self.load_info()})
+        elif op == "heartbeat":
+            self.peers.update(body["info"])
+        elif op == "reserve":
+            ok = self.slot.try_reserve(body["sender"])
+            if not ok:
+                self.reserve_rejections += 1
+            if respond:
+                respond({"ok": ok, "info": self.load_info()})
+        elif op == "release":
+            who = body["sender"]
+            if self.slot.reserved_by == who:
+                self.slot.release(who, start_calm_down=body.get("committed", True))
+            if body.get("committed") and body.get("pid") is not None:
+                proc = self.host.kernel.processes.get(body["pid"])
+                if proc is not None:
+                    self.manage(proc)
+                    self.migrations_received += 1
+            if respond:
+                respond({"ok": True})
+        elif op == "leave":
+            self.peers.remove(src_ip)
+            if respond:
+                respond({"ok": True})
+        else:
+            if respond:
+                respond(f"conductor: unknown op {op!r}", error=True)
+
+    # -- daemon loops -----------------------------------------------------------------
+    def _discover(self):
+        """Scan the local network for other conductor nodes."""
+        for ip in self.scan_ips:
+            try:
+                reply = yield self.host.control.rpc(
+                    ip, CONDUCTOR_PORT, {"op": "discover", "info": self.load_info()}, size=128
+                )
+                self.peers.update(reply["info"])
+            except Exception:
+                continue  # nobody answering on that address
+
+    def _heartbeat_loop(self):
+        while True:
+            yield self.env.timeout(self.information.interval)
+            self.peers.prune_stale(self.env.now)
+            info = self.load_info()
+            for peer in self.peers.peers():
+                self.host.control.send(
+                    peer.local_ip, CONDUCTOR_PORT, {"op": "heartbeat", "info": info}, size=96
+                )
+
+    def _balance_loop(self):
+        # Small phase offset so conductors don't act in lockstep —
+        # derived from the node's address with a *deterministic* hash
+        # (Python's str hash is randomized per process, which would make
+        # whole experiments unreproducible).
+        import zlib
+
+        phase = (
+            (zlib.crc32(self.host.local_ip.value.encode()) % 997)
+            / 997
+            * self.config.check_interval
+        )
+        yield self.env.timeout(phase)
+        while True:
+            yield self.env.timeout(self.config.check_interval)
+            if not self.enabled:
+                continue
+            if self.slot.busy or self.slot.calming or not self.peers.peers():
+                continue
+            local = self.monitor.current_load()
+            average = self.peers.cluster_average(local)
+            if not self.transfer.should_initiate(local, average):
+                continue
+            target_diff = local - average
+            proc = self.selection.choose(
+                max(target_diff, self.config.policies.min_share),
+                self.monitor.process_shares(self.managed),
+            )
+            if proc is None:
+                continue
+            candidates = self.location.choose(local, average, self.peers.peers())
+            yield from self._try_migrate(proc, candidates[: self.config.max_candidates])
+
+    def _try_migrate(self, proc: SimProcess, candidates: list[LoadInfo]):
+        me = self.host.name
+        if not self.slot.try_reserve(me):
+            return
+        for candidate in candidates:
+            try:
+                reply = yield self.host.control.rpc(
+                    candidate.local_ip,
+                    CONDUCTOR_PORT,
+                    {"op": "reserve", "sender": me},
+                    size=96,
+                )
+            except Exception:
+                continue
+            self.peers.update(reply["info"])
+            if not reply["ok"]:
+                continue
+            # Phase 2: committed — run the live migration.
+            dest = self.resolve_host(candidate.local_ip)
+            self.migrations_initiated += 1
+            report: MigrationReport = yield LiveMigrationEngine(
+                self.host, dest, proc, self.config.migration
+            ).start()
+            self.unmanage(proc)
+            self.events.append(
+                MigrationEvent(
+                    time=self.env.now,
+                    pid=proc.pid,
+                    process_name=proc.name,
+                    source=me,
+                    destination=dest.name,
+                    freeze_time=report.freeze_time,
+                    success=report.success,
+                )
+            )
+            self.host.control.send(
+                candidate.local_ip,
+                CONDUCTOR_PORT,
+                {"op": "release", "sender": me, "committed": True, "pid": proc.pid},
+                size=96,
+            )
+            self.slot.release(me, start_calm_down=True)
+            return
+        # Nobody accepted: abort our own reservation without calm-down.
+        self.slot.release(me, start_calm_down=False)
+
+
+def install_conductor(
+    host: Host,
+    scan_ips: list[IPAddr],
+    resolve_host: Callable[[IPAddr], Host],
+    config: Optional[ConductorConfig] = None,
+) -> Conductor:
+    """Install (or fetch) the conductor on a host."""
+    daemon = host.daemons.get("conductor")
+    if daemon is None:
+        daemon = Conductor(host, scan_ips, resolve_host, config)
+        host.daemons["conductor"] = daemon
+    return daemon

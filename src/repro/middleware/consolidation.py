@@ -1,0 +1,218 @@
+"""Power management by consolidation (a Section-VIII future-work case).
+
+The paper's conclusion suggests process live migration that keeps
+network connections alive could also serve power management.  This
+extension implements it on the same primitives: when the approximated
+cluster load is low, a *consolidator* drains the least-loaded node by
+live-migrating its processes to peers with headroom, until the node is
+empty and can be powered down; when load rises again, drained nodes are
+woken and the regular balancing takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Optional
+
+from ..core import LiveMigrationConfig, LiveMigrationEngine
+from ..oskern import SimProcess
+from ..oskern.node import Host
+
+__all__ = ["ConsolidationConfig", "Consolidator"]
+
+
+@dataclass
+class ConsolidationConfig:
+    """Consolidation tunables."""
+
+    #: Consider consolidating when cluster average CPU is below this (%).
+    low_watermark: float = 35.0
+    #: Never load a consolidation target above this (%).
+    target_cap: float = 75.0
+    #: Wake a sleeping node when cluster average exceeds this (%).
+    wake_watermark: float = 65.0
+    check_interval: float = 2.0
+    migration: LiveMigrationConfig = dataclass_field(
+        default_factory=lambda: LiveMigrationConfig(initial_round_timeout=0.08)
+    )
+
+
+@dataclass
+class PowerEvent:
+    time: float
+    action: str  # "sleep" | "wake" | "migrate"
+    node: str
+    detail: str = ""
+
+
+class Consolidator:
+    """Cluster-wide consolidation driver.
+
+    Unlike the fully decentralized conductor, consolidation is modelled
+    as a coordinator (in practice it would be elected or run on a
+    management node) because power decisions are inherently global.
+    It reuses each node's conductor for monitoring and its migration
+    slot for admission, so balancing and consolidation never fight over
+    a node simultaneously.
+    """
+
+    def __init__(
+        self,
+        hosts: list[Host],
+        resolve_processes: Callable[[Host], list[SimProcess]],
+        config: Optional[ConsolidationConfig] = None,
+    ) -> None:
+        if not hosts:
+            raise ValueError("need at least one host")
+        self.hosts = hosts
+        self.env = hosts[0].env
+        self.config = config or ConsolidationConfig()
+        self.resolve_processes = resolve_processes
+        #: Nodes currently drained/powered down.
+        self.sleeping: set[str] = set()
+        self.events: list[PowerEvent] = []
+        self.enabled = True
+        self.env.process(self._loop(), name="consolidator")
+
+    # -- queries ----------------------------------------------------------
+    def _load(self, host: Host) -> float:
+        return host.kernel.cpu.utilization()
+
+    def awake_hosts(self) -> list[Host]:
+        return [h for h in self.hosts if h.name not in self.sleeping]
+
+    def cluster_average(self) -> float:
+        awake = self.awake_hosts()
+        return sum(self._load(h) for h in awake) / len(awake)
+
+    def nodes_asleep(self) -> int:
+        return len(self.sleeping)
+
+    # -- power mode vs. balancing -------------------------------------------
+    def _set_balancing(self, enabled: bool) -> None:
+        """Suspend/resume the regular load balancers.
+
+        Consolidation and spreading are opposing objectives; while the
+        cluster is in power mode the conductors' balance loops pause,
+        and they resume as soon as load rises again.
+        """
+        for host in self.hosts:
+            cond = host.daemons.get("conductor")
+            if cond is not None:
+                cond.enabled = enabled
+
+    def _sleep_node(self, host: Host) -> None:
+        self.sleeping.add(host.name)
+        self.events.append(PowerEvent(self.env.now, "sleep", host.name))
+
+    def _hold_sleeping_slot(self, host: Host) -> None:
+        """Hold the node's migration slot so no in-flight balancing or
+        reservation can target a powered-down node."""
+        slot = self._slot(host)
+        if slot is not None and not slot.busy:
+            slot.try_reserve("consolidator-sleep")
+
+    def _wake_node(self, name: str) -> None:
+        self.sleeping.discard(name)
+        host = next(h for h in self.hosts if h.name == name)
+        slot = self._slot(host)
+        if slot is not None and slot.reserved_by == "consolidator-sleep":
+            slot.release("consolidator-sleep", start_calm_down=False)
+        self.events.append(PowerEvent(self.env.now, "wake", name))
+
+    # -- the loop -----------------------------------------------------------
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.config.check_interval)
+            if not self.enabled:
+                continue
+            awake = self.awake_hosts()
+            # Overload of any awake node ends power mode: wake a node
+            # (the average alone is a hysteresis trap — a freshly woken
+            # idle node halves it) and let balancing spread the load.
+            if max(self._load(h) for h in awake) > self.config.wake_watermark:
+                if self.sleeping:
+                    self._wake_node(next(iter(self.sleeping)))
+                self._set_balancing(True)
+                continue
+            if self.cluster_average() >= self.config.low_watermark:
+                # Out of power mode: normal balancing runs.
+                self._set_balancing(True)
+                continue
+            if len(awake) < 2:
+                continue
+            # Power mode: balancing pauses while we consolidate.
+            self._set_balancing(False)
+            yield from self._drain_one(awake)
+
+    def _drain_one(self, awake: list[Host]):
+        """Try to empty the least-loaded node into its peers."""
+        cfg = self.config
+        source = min(awake, key=self._load)
+        procs = list(self.resolve_processes(source))
+        slot = self._slot(source)
+        if slot is not None and not slot.try_reserve("consolidator"):
+            return
+
+        try:
+            drained = True
+            for proc in procs:
+                target = self._pick_target(source, proc)
+                if target is None:
+                    drained = False
+                    break
+                target_slot = self._slot(target)
+                if target_slot is not None and not target_slot.try_reserve(
+                    "consolidator"
+                ):
+                    drained = False
+                    break
+                try:
+                    report = yield LiveMigrationEngine(
+                        source, target, proc, cfg.migration
+                    ).start()
+                finally:
+                    if target_slot is not None:
+                        target_slot.release("consolidator", start_calm_down=False)
+                self._transfer_management(source, target, proc)
+                self.events.append(
+                    PowerEvent(
+                        self.env.now,
+                        "migrate",
+                        source.name,
+                        f"{proc.name} -> {target.name} "
+                        f"({report.freeze_time * 1e3:.1f} ms freeze)",
+                    )
+                )
+            if drained and not self.resolve_processes(source):
+                self._sleep_node(source)
+        finally:
+            if slot is not None and slot.reserved_by == "consolidator":
+                slot.release("consolidator", start_calm_down=False)
+        if source.name in self.sleeping:
+            self._hold_sleeping_slot(source)
+
+    def _pick_target(self, source: Host, proc: SimProcess) -> Optional[Host]:
+        """Most-loaded awake peer that stays under the cap."""
+        cfg = self.config
+        added = 100.0 * proc.cpu_demand / max(1, source.kernel.cpu.cores)
+        candidates = [
+            h
+            for h in self.awake_hosts()
+            if h is not source and self._load(h) + added <= cfg.target_cap
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=self._load)
+
+    def _slot(self, host: Host):
+        cond = host.daemons.get("conductor")
+        return cond.slot if cond is not None else None
+
+    def _transfer_management(self, source: Host, target: Host, proc: SimProcess) -> None:
+        src_cond = source.daemons.get("conductor")
+        dst_cond = target.daemons.get("conductor")
+        if src_cond is not None:
+            src_cond.unmanage(proc)
+        if dst_cond is not None:
+            dst_cond.manage(proc)

@@ -1,0 +1,74 @@
+"""Load information records and the per-node peer database.
+
+Each conductor maintains an approximation of the overall cluster load
+from the latest heartbeats (Section IV): the peer database stores the
+most recent :class:`LoadInfo` per node and computes the cluster-wide
+average that the transfer/location/selection policies reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net import IPAddr
+
+__all__ = ["LoadInfo", "PeerDatabase"]
+
+
+@dataclass(frozen=True)
+class LoadInfo:
+    """One heartbeat's worth of node state."""
+
+    node_name: str
+    local_ip: IPAddr
+    cpu_percent: float
+    nprocs: int
+    timestamp: float
+
+
+class PeerDatabase:
+    """Latest-known load of every other node."""
+
+    def __init__(self, stale_timeout: float = 5.0) -> None:
+        if stale_timeout <= 0:
+            raise ValueError("stale timeout must be positive")
+        self.stale_timeout = stale_timeout
+        self._peers: dict[IPAddr, LoadInfo] = {}
+
+    def update(self, info: LoadInfo) -> None:
+        """Record a heartbeat; ignores stale (older) reorderings."""
+        current = self._peers.get(info.local_ip)
+        if current is None or info.timestamp >= current.timestamp:
+            self._peers[info.local_ip] = info
+
+    def remove(self, ip: IPAddr) -> None:
+        self._peers.pop(ip, None)
+
+    def prune_stale(self, now: float) -> list[LoadInfo]:
+        """Drop peers whose heartbeat lapsed; returns the departed."""
+        gone = [
+            info
+            for info in self._peers.values()
+            if now - info.timestamp > self.stale_timeout
+        ]
+        for info in gone:
+            del self._peers[info.local_ip]
+        return gone
+
+    def peers(self) -> list[LoadInfo]:
+        return sorted(self._peers.values(), key=lambda i: i.node_name)
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __contains__(self, ip: IPAddr) -> bool:
+        return ip in self._peers
+
+    def get(self, ip: IPAddr) -> LoadInfo | None:
+        return self._peers.get(ip)
+
+    def cluster_average(self, own_load: float) -> float:
+        """Approximated overall cluster load including this node."""
+        loads = [info.cpu_percent for info in self._peers.values()]
+        loads.append(own_load)
+        return sum(loads) / len(loads)

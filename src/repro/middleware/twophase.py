@@ -1,0 +1,66 @@
+"""Receiver-side migration admission: two-phase commit + calm-down.
+
+The receiver enters the migrating state through a two-phase commit with
+the sender and accepts only one migration at a time (Section IV-A).
+After a migration both ends enter a *calm-down* period so their resource
+indicators can stabilise before further decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..des import Environment
+
+__all__ = ["MigrationSlot"]
+
+
+class MigrationSlot:
+    """One node's single inbound/outbound migration slot + calm-down."""
+
+    def __init__(self, env: Environment, calm_down: float = 10.0) -> None:
+        if calm_down < 0:
+            raise ValueError("calm-down must be non-negative")
+        self.env = env
+        self.calm_down = calm_down
+        self._reserved_by: Optional[str] = None
+        self._calm_until = 0.0
+
+    # -- state ------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._reserved_by is not None
+
+    @property
+    def calming(self) -> bool:
+        return self.env.now < self._calm_until
+
+    @property
+    def reserved_by(self) -> Optional[str]:
+        return self._reserved_by
+
+    # -- 2PC verbs -----------------------------------------------------------
+    def try_reserve(self, who: str) -> bool:
+        """Phase 1: reserve the slot.  Fails when busy or calming."""
+        if self.busy or self.calming:
+            return False
+        self._reserved_by = who
+        return True
+
+    def release(self, who: str, start_calm_down: bool = True) -> None:
+        """Phase 2 (commit or abort): free the slot.
+
+        ``start_calm_down`` is set on successful migrations so the load
+        indicators can settle; aborts release immediately.
+        """
+        if self._reserved_by != who:
+            raise RuntimeError(
+                f"slot reserved by {self._reserved_by!r}, released by {who!r}"
+            )
+        self._reserved_by = None
+        if start_calm_down:
+            self._calm_until = self.env.now + self.calm_down
+
+    def start_calm_down(self) -> None:
+        """Enter calm-down without holding the slot (sender side)."""
+        self._calm_until = self.env.now + self.calm_down

@@ -1,0 +1,42 @@
+"""Network substrate: addresses, packets, links, NICs, router, switch."""
+
+from .addr import Endpoint, FlowKey, IPAddr, PROTO_CTL, PROTO_TCP, PROTO_UDP
+from .link import Link
+from .nic import Interface, LOCAL, PUBLIC
+from .packet import (
+    IP_HEADER_BYTES,
+    Packet,
+    TCP_HEADER_BYTES,
+    TCPFlags,
+    TCPHeader,
+    UDP_HEADER_BYTES,
+    transport_checksum,
+)
+from .router import BroadcastRouter, UnicastRouter
+from .switch import Switch
+from .trace import PacketTrace, TraceRecord
+
+__all__ = [
+    "IPAddr",
+    "Endpoint",
+    "FlowKey",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_CTL",
+    "Packet",
+    "TCPHeader",
+    "TCPFlags",
+    "transport_checksum",
+    "IP_HEADER_BYTES",
+    "TCP_HEADER_BYTES",
+    "UDP_HEADER_BYTES",
+    "Link",
+    "Interface",
+    "PUBLIC",
+    "LOCAL",
+    "BroadcastRouter",
+    "UnicastRouter",
+    "Switch",
+    "PacketTrace",
+    "TraceRecord",
+]

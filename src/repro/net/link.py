@@ -1,0 +1,99 @@
+"""Point-to-point links with bandwidth, propagation delay and FIFO
+serialization.
+
+Freeze-time and packet-delay results must *emerge* from transfer sizes,
+so the link model is the one place where bytes turn into simulated time:
+``tx_time = bits / bandwidth`` with per-direction FIFO queueing, plus a
+fixed propagation latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..des import Environment
+from .packet import Packet
+
+__all__ = ["Link", "LinkTap"]
+
+#: Signature of a wire tap: (time, packet, from_side)
+LinkTap = Callable[[float, Packet, int], None]
+
+
+class Link:
+    """Full-duplex point-to-point link between two attached receivers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = 1e9,
+        latency: float = 60e-6,
+        name: str = "",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency = float(latency)
+        self.name = name
+        self._receivers: list[Optional[Callable[[Packet], None]]] = [None, None]
+        #: Per-direction time at which the transmitter frees up.
+        self._busy_until = [0.0, 0.0]
+        self.bytes_sent = [0, 0]
+        self.packets_sent = [0, 0]
+        self._taps: list[LinkTap] = []
+
+    def attach(self, side: int, receiver: Callable[[Packet], None]) -> None:
+        """Attach the receive callback for one side (0 or 1)."""
+        if side not in (0, 1):
+            raise ValueError("side must be 0 or 1")
+        if self._receivers[side] is not None:
+            raise RuntimeError(f"side {side} of {self!r} already attached")
+        self._receivers[side] = receiver
+
+    def add_tap(self, tap: LinkTap) -> None:
+        """Register a tcpdump-like wire tap, called at transmit start."""
+        self._taps.append(tap)
+
+    def tx_time(self, packet: Packet) -> float:
+        """Serialization time of a packet on this link."""
+        return packet.size * 8 / self.bandwidth_bps
+
+    def send(self, packet: Packet, from_side: int) -> float:
+        """Queue ``packet`` for transmission from ``from_side``.
+
+        Returns the (absolute) delivery time at the other side.
+        """
+        if from_side not in (0, 1):
+            raise ValueError("from_side must be 0 or 1")
+        to_side = 1 - from_side
+        receiver = self._receivers[to_side]
+        if receiver is None:
+            raise RuntimeError(f"nothing attached on side {to_side} of link {self.name!r}")
+
+        now = self.env.now
+        start = max(now, self._busy_until[from_side])
+        done = start + self.tx_time(packet)
+        self._busy_until[from_side] = done
+        arrival = done + self.latency
+
+        self.bytes_sent[from_side] += packet.size
+        self.packets_sent[from_side] += 1
+        for tap in self._taps:
+            tap(start, packet, from_side)
+
+        ev = self.env.event()
+        ev.callbacks.append(lambda _ev: receiver(packet))
+        ev._ok = True
+        ev._value = None
+        self.env.schedule(ev, delay=arrival - now)
+        return arrival
+
+    def queueing_delay(self, from_side: int) -> float:
+        """How long a packet sent right now would wait before tx starts."""
+        return max(0.0, self._busy_until[from_side] - self.env.now)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name!r} {self.bandwidth_bps/1e9:.1f}Gbps {self.latency*1e6:.0f}us>"

@@ -1,0 +1,69 @@
+"""Network interfaces.
+
+Every DVE server node has two (Section II-A): a *public* interface — all
+nodes share one public IP, fed by the broadcast router — and a *local*
+interface with a per-node cluster address on the switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .addr import IPAddr
+from .link import Link
+from .packet import Packet
+
+__all__ = ["Interface", "PUBLIC", "LOCAL"]
+
+PUBLIC = "public"
+LOCAL = "local"
+
+
+class Interface:
+    """A NIC: an IP bound to one side of a link, with an rx handler."""
+
+    def __init__(self, ip: IPAddr, kind: str, name: str = "") -> None:
+        if kind not in (PUBLIC, LOCAL):
+            raise ValueError(f"unknown interface kind {kind!r}")
+        self.ip = ip
+        self.kind = kind
+        self.name = name or f"{kind}@{ip}"
+        self._link: Optional[Link] = None
+        self._side: int = 0
+        self._rx_handler: Optional[Callable[[Packet, "Interface"], None]] = None
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+
+    def connect(self, link: Link, side: int) -> None:
+        """Plug this interface into one side of a link."""
+        if self._link is not None:
+            raise RuntimeError(f"{self.name} already connected")
+        self._link = link
+        self._side = side
+        link.attach(side, self._deliver)
+
+    @property
+    def connected(self) -> bool:
+        return self._link is not None
+
+    def set_rx_handler(self, handler: Callable[[Packet, "Interface"], None]) -> None:
+        self._rx_handler = handler
+
+    def transmit(self, packet: Packet) -> float:
+        """Send a packet out this interface; returns delivery time."""
+        if self._link is None:
+            raise RuntimeError(f"{self.name} is not connected")
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        return self._link.send(packet, self._side)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        if self._rx_handler is not None:
+            self._rx_handler(packet, self)
+
+    def __repr__(self) -> str:
+        return f"<Interface {self.name}>"

@@ -1,0 +1,15 @@
+"""OpenArena-like FPS workload (Section VI-B, Figure 4)."""
+
+from .client import GameClient, join_clients
+from .scenario import Fig4Config, Fig4Result, run_openarena_migration
+from .server import GameServerConfig, OpenArenaServer
+
+__all__ = [
+    "OpenArenaServer",
+    "GameServerConfig",
+    "GameClient",
+    "join_clients",
+    "Fig4Config",
+    "Fig4Result",
+    "run_openarena_migration",
+]

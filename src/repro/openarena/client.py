@@ -1,0 +1,82 @@
+"""Game-client bots for the OpenArena-like server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster import Cluster
+from ..net import Endpoint
+from ..oskern.node import Host
+
+__all__ = ["GameClient", "join_clients"]
+
+
+@dataclass
+class ClientStats:
+    inputs_sent: int = 0
+    snapshots_received: int = 0
+    connected_at: Optional[float] = None
+    #: Arrival times of snapshots (for gap analysis, like Fig. 4).
+    snapshot_times: list[float] = field(default_factory=list)
+
+
+class GameClient:
+    """One bot: connects, sends user commands, consumes snapshots."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        server: Endpoint,
+        input_hz: float = 30.0,
+        input_bytes: int = 48,
+        record_times: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.host: Host = cluster.add_client()
+        self.server = server
+        self.input_hz = input_hz
+        self.input_bytes = input_bytes
+        self.record_times = record_times
+        self.socket = self.host.stack.udp_socket()
+        self.socket.bind(27961, ip=self.host.public_ip)
+        self.stats = ClientStats()
+
+    def start(self) -> None:
+        self.env.process(self._play(), name=f"bot-{self.host.name}")
+        self.env.process(self._listen(), name=f"bot-rx-{self.host.name}")
+
+    def _play(self):
+        self.socket.sendto(("connect",), 64, self.server)
+        while True:
+            yield self.env.timeout(1.0 / self.input_hz)
+            self.socket.sendto(("usercmd",), self.input_bytes, self.server)
+            self.stats.inputs_sent += 1
+
+    def _listen(self):
+        while True:
+            skb = yield self.socket.recv()
+            kind = skb.payload[0] if isinstance(skb.payload, tuple) else skb.payload
+            if kind == "connect-ack":
+                if self.stats.connected_at is None:
+                    self.stats.connected_at = self.env.now
+            elif kind == "snapshot":
+                self.stats.snapshots_received += 1
+                if self.record_times:
+                    self.stats.snapshot_times.append(self.env.now)
+
+
+def join_clients(
+    cluster: Cluster,
+    server: Endpoint,
+    n: int,
+    record_times: bool = False,
+) -> list[GameClient]:
+    """Create and start ``n`` bots against ``server``."""
+    bots = [
+        GameClient(cluster, server, record_times=record_times) for _ in range(n)
+    ]
+    for bot in bots:
+        bot.start()
+    return bots

@@ -1,0 +1,54 @@
+"""Simulated operating-system kernel (substrate).
+
+Per-node kernels with: jiffies clocks, address spaces with dirty-bit
+page tracking and VMA lists, threads/processes with FD tables, fluid CPU
+accounting, netfilter hook chains, and hosts tying kernels to network
+interfaces plus a control plane for user-level daemons.
+"""
+
+from .costs import CostModel, PAGE_SIZE
+from .fdtable import FDTable, OpenFile, RegularFile, SocketFile
+from .jiffies import JIFFIES_HZ, JiffiesClock
+from .kernel import Kernel
+from .memory import AddressSpace, VMArea
+from .netfilter import (
+    NF_ACCEPT,
+    NF_DROP,
+    NF_INET_LOCAL_IN,
+    NF_INET_LOCAL_OUT,
+    NF_STOLEN,
+    NetfilterHook,
+    NetfilterHooks,
+)
+from .node import ControlPlane, CtlEnvelope, Host, RpcError
+from .sched import CpuAccounting
+from .task import ProcessState, SimProcess, Thread
+
+__all__ = [
+    "CostModel",
+    "PAGE_SIZE",
+    "JiffiesClock",
+    "JIFFIES_HZ",
+    "AddressSpace",
+    "VMArea",
+    "FDTable",
+    "OpenFile",
+    "RegularFile",
+    "SocketFile",
+    "Thread",
+    "SimProcess",
+    "ProcessState",
+    "CpuAccounting",
+    "NetfilterHooks",
+    "NetfilterHook",
+    "NF_INET_LOCAL_IN",
+    "NF_INET_LOCAL_OUT",
+    "NF_ACCEPT",
+    "NF_DROP",
+    "NF_STOLEN",
+    "Kernel",
+    "Host",
+    "ControlPlane",
+    "CtlEnvelope",
+    "RpcError",
+]

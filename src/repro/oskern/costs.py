@@ -1,0 +1,83 @@
+"""Cost-model calibration constants.
+
+Every simulated CPU cost of the migration machinery lives here, so that
+each figure harness runs against the *same* calibration and ablations can
+perturb a single knob.  Values are chosen to land in the regimes the
+paper reports (Section VI): ~20 ms OpenArena downtime, iterative socket
+migration ~linear to ~180 ms at 1024 connections, incremental collective
+< 40 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU and state-size constants used by checkpoint/migration code."""
+
+    # ---- memory / precopy ----
+    #: CPU cost of dumping one dirty page (scan + memcpy into send buffer).
+    page_dump_cost: float = 3e-6
+    #: CPU cost of scanning page-table entries per page (dirty-bit walk).
+    pte_scan_cost: float = 0.05e-6
+    #: CPU cost of comparing one VMA against the tracking list.
+    vma_compare_cost: float = 0.3e-6
+    #: Fixed per-precopy-round overhead (ioctl entry, bookkeeping).
+    round_overhead: float = 150e-6
+
+    # ---- freeze phase ----
+    #: Signal delivery + handler entry per thread.
+    signal_cost: float = 30e-6
+    #: Barrier synchronization cost per thread.
+    barrier_cost: float = 5e-6
+    #: Dumping registers/sighandlers/IDs per thread.
+    thread_ctx_bytes: int = 1200
+    thread_ctx_cost: float = 12e-6
+    #: Dumping one non-socket file-table entry.
+    file_entry_bytes: int = 120
+    file_entry_cost: float = 4e-6
+
+    # ---- socket migration ----
+    #: CPU: full subtract of one TCP socket (unhash, timers, queues).
+    tcp_subtract_cost: float = 25e-6
+    #: CPU: incremental diff of one tracked, quiescent TCP socket.
+    tcp_incremental_cost: float = 8e-6
+    #: CPU: restore one TCP socket on the destination.
+    tcp_restore_cost: float = 12e-6
+    #: Bytes: full TCP socket state (struct sock + tcp_sock + bookkeeping).
+    tcp_state_bytes: int = 3200
+    #: Bytes: incremental delta of a quiescent established TCP socket
+    #: (sequence counters, timestamps, window fields).
+    tcp_delta_bytes: int = 96
+    #: Bytes: per-buffered-packet overhead when dumping queues.
+    skb_meta_bytes: int = 48
+    #: CPU/bytes for UDP sockets (much lighter, Section V-C.2).
+    udp_subtract_cost: float = 8e-6
+    udp_restore_cost: float = 6e-6
+    udp_state_bytes: int = 640
+    udp_delta_bytes: int = 48
+    #: Control message sizes for capture-enable requests.
+    capture_req_bytes_per_socket: int = 24
+    capture_req_base_bytes: int = 64
+    #: CPU to install one capture filter on the destination.
+    capture_install_cost: float = 6e-6
+    #: CPU to reinject one captured packet through okfn().
+    reinject_cost: float = 4e-6
+    #: CPU to install one address-translation filter pair (transd).
+    translation_install_cost: float = 15e-6
+
+    # ---- transport framing for the migration channel ----
+    #: Bulk data is chunked into messages of at most this payload size.
+    migration_chunk_bytes: int = 61440
+    #: Per-control-message protocol overhead (headers, framing).
+    ctl_overhead_bytes: int = 64
+
+    def with_overrides(self, **kw) -> "CostModel":
+        """A copy with selected knobs replaced (ablation helper)."""
+        return replace(self, **kw)

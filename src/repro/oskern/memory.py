@@ -1,0 +1,205 @@
+"""Process address spaces: VMA lists and dirty-bit page tracking.
+
+The live-migration mechanism needs two things from memory management
+(Section V-A):
+
+1. *dirty-page tracking* between precopy rounds — we model the page-table
+   dirty bit directly: every simulated write sets it, and the checkpoint
+   code clears it after dumping;
+2. *address-space change tracking* — insertions, modifications and
+   removals of mapped areas, which Linux keeps as a ``vm_area_struct``
+   list.  The migration module maintains its own tracking list and diffs
+   it against the live list each round (see :mod:`repro.core.tracking`).
+
+Pages carry a monotonically increasing *version* instead of data, so
+tests can assert exactly which page contents reached the destination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .costs import PAGE_SIZE
+
+__all__ = ["VMArea", "AddressSpace", "PAGE_SIZE"]
+
+_vma_ids = itertools.count(1)
+
+
+@dataclass
+class VMArea:
+    """A contiguous mapped region, analogous to ``vm_area_struct``.
+
+    ``start``/``end`` are page numbers (end exclusive).  Identity is by
+    ``vma_id`` so that a *moved or resized* area is recognized as a
+    modification, not a remove+insert.
+    """
+
+    start: int
+    end: int
+    perms: str = "rw"
+    tag: str = ""
+    vma_id: int = field(default_factory=lambda: next(_vma_ids))
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty VMA [{self.start}, {self.end})")
+
+    @property
+    def npages(self) -> int:
+        return self.end - self.start
+
+    @property
+    def nbytes(self) -> int:
+        return self.npages * PAGE_SIZE
+
+    def pages(self) -> range:
+        return range(self.start, self.end)
+
+    def snapshot(self) -> tuple[int, int, int, str]:
+        """Hashable view (vma_id, start, end, perms) for tracking diffs."""
+        return (self.vma_id, self.start, self.end, self.perms)
+
+    def __str__(self) -> str:
+        return f"vma#{self.vma_id}[{self.start},{self.end}) {self.perms} {self.tag}"
+
+
+class AddressSpace:
+    """Per-process memory: ordered VMA list + per-page dirty bits/versions."""
+
+    def __init__(self) -> None:
+        #: Ordered by start page, non-overlapping.
+        self.vmas: list[VMArea] = []
+        #: vpn -> version (bumped on every write).  Presence == mapped+touched.
+        self._versions: dict[int, int] = {}
+        #: vpn set with the dirty bit set.
+        self._dirty: set[int] = set()
+        self._next_free_page = 0x1000  # arbitrary non-zero base
+
+    # -- mapping ------------------------------------------------------------
+    def mmap(self, npages: int, perms: str = "rw", tag: str = "") -> VMArea:
+        """Map a fresh area at the next free range (allocations)."""
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        start = self._next_free_page
+        self._next_free_page += npages + 16  # guard gap
+        area = VMArea(start, start + npages, perms, tag)
+        self._insert(area)
+        return area
+
+    def _insert(self, area: VMArea) -> None:
+        for existing in self.vmas:
+            if area.start < existing.end and existing.start < area.end:
+                raise ValueError(f"{area} overlaps {existing}")
+        self.vmas.append(area)
+        self.vmas.sort(key=lambda a: a.start)
+        # Newly mapped pages are dirty: they never reached the destination.
+        for vpn in area.pages():
+            self._versions.setdefault(vpn, 0)
+            self._dirty.add(vpn)
+
+    def munmap(self, area: VMArea) -> None:
+        """Unmap an area (frees)."""
+        try:
+            self.vmas.remove(area)
+        except ValueError:
+            raise ValueError(f"{area} is not mapped") from None
+        for vpn in area.pages():
+            self._versions.pop(vpn, None)
+            self._dirty.discard(vpn)
+
+    def resize(self, area: VMArea, new_npages: int) -> None:
+        """Grow or shrink an area in place (mremap-style modification)."""
+        if new_npages <= 0:
+            raise ValueError("new size must be positive")
+        old_end = area.end
+        new_end = area.start + new_npages
+        if new_end > old_end:
+            for other in self.vmas:
+                if other is not area and area.start < other.end and other.start < new_end:
+                    raise ValueError("resize would overlap a neighbouring VMA")
+            for vpn in range(old_end, new_end):
+                self._versions.setdefault(vpn, 0)
+                self._dirty.add(vpn)
+        else:
+            for vpn in range(new_end, old_end):
+                self._versions.pop(vpn, None)
+                self._dirty.discard(vpn)
+        area.end = new_end
+
+    def find_vma(self, vpn: int) -> Optional[VMArea]:
+        for area in self.vmas:
+            if area.start <= vpn < area.end:
+                return area
+        return None
+
+    # -- page access ----------------------------------------------------------
+    def write_page(self, vpn: int) -> None:
+        """Simulate a store to a page: sets the dirty bit, bumps version."""
+        if vpn not in self._versions:
+            raise ValueError(f"page fault: page {vpn:#x} is not mapped")
+        self._versions[vpn] += 1
+        self._dirty.add(vpn)
+
+    def write_range(self, area: VMArea, count: int, offset: int = 0) -> None:
+        """Write ``count`` consecutive pages of ``area`` starting at offset."""
+        if offset < 0 or offset + count > area.npages:
+            raise ValueError("write range outside area")
+        for vpn in range(area.start + offset, area.start + offset + count):
+            self.write_page(vpn)
+
+    def page_version(self, vpn: int) -> int:
+        return self._versions[vpn]
+
+    def is_dirty(self, vpn: int) -> bool:
+        return vpn in self._dirty
+
+    # -- dirty tracking (what mig_mod's tracking loop consumes) --------------
+    def dirty_pages(self) -> list[int]:
+        """Sorted list of pages with the dirty bit set."""
+        return sorted(self._dirty)
+
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def clear_dirty(self, vpns: Optional[list[int]] = None) -> None:
+        """Clear dirty bits (all, or just the dumped subset)."""
+        if vpns is None:
+            self._dirty.clear()
+        else:
+            self._dirty.difference_update(vpns)
+
+    # -- whole-space views ------------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        return sum(a.npages for a in self.vmas)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * PAGE_SIZE
+
+    def iter_pages(self) -> Iterator[int]:
+        for area in self.vmas:
+            yield from area.pages()
+
+    def content_snapshot(self) -> dict[int, int]:
+        """vpn -> version for every mapped page (test/restore helper)."""
+        return dict(self._versions)
+
+    def load_snapshot(
+        self,
+        vmas: list[tuple[int, int, str, str]],
+        versions: dict[int, int],
+    ) -> None:
+        """Rebuild this (empty) space from checkpointed state."""
+        if self.vmas:
+            raise RuntimeError("load_snapshot requires an empty address space")
+        for start, end, perms, tag in vmas:
+            self.vmas.append(VMArea(start, end, perms, tag))
+        self.vmas.sort(key=lambda a: a.start)
+        self._versions = dict(versions)
+        self._dirty = set()
+        if self.vmas:
+            self._next_free_page = max(a.end for a in self.vmas) + 16

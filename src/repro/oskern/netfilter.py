@@ -1,0 +1,92 @@
+"""Netfilter-style hook chains.
+
+The paper's ``cap_trans_mod`` attaches functions to two phases of
+network-stack processing (Sections V-B, V-D):
+
+- ``NF_INET_LOCAL_IN`` — packets delivered to the local host (where both
+  the capture filter and the incoming half of address translation live);
+- ``NF_INET_LOCAL_OUT`` — locally generated packets (outgoing half of
+  address translation).
+
+Hooks run in priority order and return a verdict; ``NF_STOLEN`` means
+the hook consumed the packet (e.g. queued it for later reinjection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..net import Packet
+
+__all__ = [
+    "NF_INET_LOCAL_IN",
+    "NF_INET_LOCAL_OUT",
+    "NF_ACCEPT",
+    "NF_DROP",
+    "NF_STOLEN",
+    "NetfilterHook",
+    "NetfilterHooks",
+]
+
+NF_INET_LOCAL_IN = "NF_INET_LOCAL_IN"
+NF_INET_LOCAL_OUT = "NF_INET_LOCAL_OUT"
+
+NF_ACCEPT = "NF_ACCEPT"
+NF_DROP = "NF_DROP"
+NF_STOLEN = "NF_STOLEN"
+
+_hook_ids = itertools.count(1)
+
+HookFn = Callable[[Packet], str]
+
+
+@dataclass
+class NetfilterHook:
+    """One registered hook function."""
+
+    chain: str
+    fn: HookFn
+    priority: int = 0
+    name: str = ""
+    hook_id: int = field(default_factory=lambda: next(_hook_ids))
+
+
+class NetfilterHooks:
+    """The per-node hook registry, traversed by the IP layer."""
+
+    CHAINS = (NF_INET_LOCAL_IN, NF_INET_LOCAL_OUT)
+
+    def __init__(self) -> None:
+        self._chains: dict[str, list[NetfilterHook]] = {c: [] for c in self.CHAINS}
+
+    def register(self, chain: str, fn: HookFn, priority: int = 0, name: str = "") -> NetfilterHook:
+        if chain not in self._chains:
+            raise ValueError(f"unknown chain {chain!r}")
+        hook = NetfilterHook(chain, fn, priority, name)
+        self._chains[chain].append(hook)
+        self._chains[chain].sort(key=lambda h: (h.priority, h.hook_id))
+        return hook
+
+    def unregister(self, hook: NetfilterHook) -> None:
+        try:
+            self._chains[hook.chain].remove(hook)
+        except ValueError:
+            raise ValueError(f"hook {hook.name!r} is not registered") from None
+
+    def hooks(self, chain: str) -> list[NetfilterHook]:
+        return list(self._chains[chain])
+
+    def run(self, chain: str, packet: Packet) -> str:
+        """Run ``packet`` through ``chain``; first non-ACCEPT verdict wins."""
+        if chain not in self._chains:
+            raise ValueError(f"unknown chain {chain!r}")
+        for hook in self._chains[chain]:
+            verdict = hook.fn(packet)
+            if verdict == NF_ACCEPT:
+                continue
+            if verdict in (NF_DROP, NF_STOLEN):
+                return verdict
+            raise ValueError(f"hook {hook.name!r} returned bad verdict {verdict!r}")
+        return NF_ACCEPT

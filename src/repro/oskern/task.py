@@ -1,0 +1,169 @@
+"""Threads and processes (the migratable units).
+
+A :class:`SimProcess` is what the paper migrates: an address space, an
+FD table, and one or more :class:`Thread`\\ s with registers and signal
+handlers.  Application behaviour is driven by DES generator processes;
+the *freeze* protocol of live migration parks them on a thaw event so
+no application code runs while the execution context is in flight.
+
+The signal-based checkpoint notification (Section III-A) is modelled by
+:meth:`SimProcess.deliver_checkpoint_signal`: threads executing a system
+call abandon it and return to userspace first — which is what guarantees
+that no socket is locked and no prequeue is in use during the freeze
+(Section V-C.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..des import Environment, Event
+from .fdtable import FDTable
+from .memory import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+__all__ = ["Thread", "SimProcess", "ProcessState"]
+
+_tids = itertools.count(100)
+_pids = itertools.count(1000)
+
+
+class ProcessState:
+    RUNNING = "running"
+    FROZEN = "frozen"
+    EXITED = "exited"
+    #: Exists on the destination but has not received execution context.
+    EMBRYO = "embryo"
+
+
+@dataclass
+class Thread:
+    """One kernel task: registers, signal handlers, syscall state."""
+
+    tid: int = field(default_factory=lambda: next(_tids))
+    #: Opaque register state; bumped by app code so tests can verify
+    #: the *latest* context (not a stale one) arrived at the destination.
+    registers_version: int = 0
+    signal_handlers: dict[int, str] = field(default_factory=dict)
+    #: True while the thread is blocked inside a syscall.
+    in_syscall: bool = False
+    #: Called when a checkpoint signal forces the thread out of a
+    #: syscall (releases socket locks, drains the prequeue, ...).
+    syscall_abort: Optional[Callable[[], None]] = None
+
+    def touch_registers(self) -> None:
+        self.registers_version += 1
+
+    def checkpoint_record(self) -> dict[str, Any]:
+        return {
+            "tid": self.tid,
+            "registers_version": self.registers_version,
+            "signal_handlers": dict(self.signal_handlers),
+        }
+
+
+class SimProcess:
+    """A simulated OS process — the migratable unit of the system."""
+
+    def __init__(self, kernel: "Kernel", name: str, nthreads: int = 1) -> None:
+        if nthreads < 1:
+            raise ValueError("a process needs at least one thread")
+        self.pid = next(_pids)
+        self.name = name
+        self.kernel = kernel
+        self.address_space = AddressSpace()
+        self.fdtable = FDTable()
+        self.threads = [Thread() for _ in range(nthreads)]
+        self.state = ProcessState.RUNNING
+        #: Event recreated on each freeze; app loops wait on it to thaw.
+        self._thaw_event: Optional[Event] = None
+        #: CPU demand (fraction of one core) for the fluid scheduler.
+        self.cpu_demand = 0.0
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def env(self) -> Environment:
+        return self.kernel.env
+
+    @property
+    def node_name(self) -> str:
+        return self.kernel.node_name
+
+    @property
+    def main_thread(self) -> Thread:
+        return self.threads[0]
+
+    def clone_thread(self) -> Thread:
+        """Add a thread (used by the migration helper thread)."""
+        t = Thread()
+        self.threads.append(t)
+        return t
+
+    def reap_thread(self, thread: Thread) -> None:
+        if thread is self.main_thread:
+            raise ValueError("cannot reap the main thread")
+        self.threads.remove(thread)
+
+    # -- freeze protocol -------------------------------------------------------
+    @property
+    def is_frozen(self) -> bool:
+        return self.state == ProcessState.FROZEN
+
+    def freeze(self) -> None:
+        """Stop application execution (start of the freeze phase)."""
+        if self.state != ProcessState.RUNNING:
+            raise RuntimeError(f"cannot freeze process in state {self.state}")
+        self.state = ProcessState.FROZEN
+        self._thaw_event = Event(self.env)
+
+    def thaw(self) -> None:
+        """Resume application execution (restart finished / abort)."""
+        if self.state != ProcessState.FROZEN:
+            raise RuntimeError(f"cannot thaw process in state {self.state}")
+        self.state = ProcessState.RUNNING
+        ev, self._thaw_event = self._thaw_event, None
+        assert ev is not None
+        ev.succeed()
+
+    def exit(self) -> None:
+        self.state = ProcessState.EXITED
+        self.kernel.remove_process(self)
+
+    def check_frozen(self) -> Generator:
+        """``yield from`` this at loop tops of application code: blocks
+        while the process is frozen, no-ops otherwise."""
+        while self.state == ProcessState.FROZEN:
+            assert self._thaw_event is not None
+            yield self._thaw_event
+        return None
+
+    # -- signals ------------------------------------------------------------------
+    def deliver_checkpoint_signal(self) -> int:
+        """Deliver the live-checkpoint signal to all threads.
+
+        Threads inside a syscall abandon it (running their registered
+        abort action, e.g. releasing a socket lock) and return to
+        userspace.  Returns the number of threads that were forced out
+        of syscalls.
+        """
+        aborted = 0
+        for thread in self.threads:
+            if thread.in_syscall:
+                if thread.syscall_abort is not None:
+                    thread.syscall_abort()
+                thread.in_syscall = False
+                thread.syscall_abort = None
+                aborted += 1
+        return aborted
+
+    # -- sockets -----------------------------------------------------------------
+    def sockets(self) -> list[Any]:
+        """All socket objects in this process's FD table, fd order."""
+        return [sf.socket for _, sf in self.fdtable.sockets()]
+
+    def __repr__(self) -> str:
+        return f"<SimProcess pid={self.pid} {self.name!r} on {self.node_name} {self.state}>"

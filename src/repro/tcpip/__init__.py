@@ -1,0 +1,33 @@
+"""In-kernel TCP/IP stack (substrate): sockets, queues, lookup tables."""
+
+from .buffers import OutOfOrderQueue, ReceiveQueue, SKBuff, WriteQueue
+from .dstcache import DstCacheEntry
+from .hashtables import SocketTables
+from .ip import IPLayer
+from .seq import seq_add, seq_between, seq_geq, seq_gt, seq_leq, seq_lt, seq_sub
+from .stack import NetworkStack
+from .tcp import EOF, MSS, TCPSocket, TCPState
+from .udp import UDPSocket
+
+__all__ = [
+    "SKBuff",
+    "WriteQueue",
+    "ReceiveQueue",
+    "OutOfOrderQueue",
+    "DstCacheEntry",
+    "SocketTables",
+    "IPLayer",
+    "NetworkStack",
+    "TCPSocket",
+    "TCPState",
+    "UDPSocket",
+    "EOF",
+    "MSS",
+    "seq_add",
+    "seq_sub",
+    "seq_lt",
+    "seq_leq",
+    "seq_gt",
+    "seq_geq",
+    "seq_between",
+]

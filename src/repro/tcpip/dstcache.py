@@ -1,0 +1,32 @@
+"""IP destination-cache entries.
+
+Linux attaches a destination-cache entry to every outgoing packet,
+inherited from the originating socket (Section V-D).  Address
+translation that rewrites only the IP header leaves the old entry in
+place, so the packet is still *physically* sent to the old destination —
+the first of the two technical issues the paper reports.  The
+translation filter therefore replaces the entry too.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..net import IPAddr
+
+__all__ = ["DstCacheEntry"]
+
+_dst_ids = itertools.count(1)
+
+
+@dataclass
+class DstCacheEntry:
+    """Resolved next-hop/destination for a socket's outgoing packets."""
+
+    ip: IPAddr
+    entry_id: int = field(default_factory=lambda: next(_dst_ids))
+
+    def clone_for(self, new_ip: IPAddr) -> "DstCacheEntry":
+        """An accurate replacement entry pointing at the new destination."""
+        return DstCacheEntry(ip=new_ip)

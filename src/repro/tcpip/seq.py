@@ -1,0 +1,40 @@
+"""32-bit TCP sequence-number arithmetic (mod 2**32, signed compare)."""
+
+from __future__ import annotations
+
+__all__ = ["SEQ_MOD", "seq_add", "seq_sub", "seq_lt", "seq_leq", "seq_gt", "seq_geq", "seq_between"]
+
+SEQ_MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def seq_add(a: int, n: int) -> int:
+    """a + n (mod 2**32)."""
+    return (a + n) % SEQ_MOD
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Signed distance a - b in [-2**31, 2**31)."""
+    d = (a - b) % SEQ_MOD
+    return d - SEQ_MOD if d >= _HALF else d
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_sub(a, b) < 0
+
+
+def seq_leq(a: int, b: int) -> bool:
+    return seq_sub(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_sub(a, b) > 0
+
+
+def seq_geq(a: int, b: int) -> bool:
+    return seq_sub(a, b) >= 0
+
+
+def seq_between(seq: int, lo: int, hi: int) -> bool:
+    """lo <= seq < hi in sequence space."""
+    return seq_leq(lo, seq) and seq_lt(seq, hi)

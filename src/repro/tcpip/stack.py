@@ -1,0 +1,92 @@
+"""Per-node network stack: socket tables + IP layer + socket factories."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..net import Interface, IPAddr, Packet
+from .hashtables import SocketTables
+from .ip import IPLayer
+from .tcp import TCPSocket
+from .udp import UDPSocket
+
+__all__ = ["NetworkStack"]
+
+
+class NetworkStack:
+    """Everything TCP/IP on one node."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, kernel: Any) -> None:
+        self.kernel = kernel
+        self.env = kernel.env
+        self.tables = SocketTables()
+        self.ip = IPLayer(self)
+        self._next_ephemeral: int | None = None
+        self._ephemeral_base = self.EPHEMERAL_BASE
+        self._ephemeral_span = 28000
+
+    def _init_ephemeral_range(self) -> None:
+        """Disjoint per-node ephemeral ranges on the cluster network.
+
+        When a socket migrates, its local address is rewritten to the
+        destination node but its *port* is kept — so two processes
+        migrated from different nodes must never have been handed the
+        same ephemeral port, or their rewritten in-cluster flows would
+        collide in the destination's ``ehash``.  Cluster deployments
+        avoid this by carving the ephemeral range per node (keyed here
+        by the local address's last octet; up to 60 cluster hosts).
+        """
+        iface = self.kernel.local_iface
+        if iface is not None:
+            octet = int(iface.ip.value.rsplit(".", 1)[1])
+            self._ephemeral_base = self.EPHEMERAL_BASE + (octet % 60) * 450
+            self._ephemeral_span = 450
+        self._next_ephemeral = self._ephemeral_base
+
+    # -- socket factories ------------------------------------------------------
+    def tcp_socket(self, proc: Any = None) -> TCPSocket:
+        """Create a TCP socket, installing it in ``proc``'s FD table."""
+        sock = TCPSocket(self, proc=proc)
+        self._install_fd(proc, sock)
+        return sock
+
+    def udp_socket(self, proc: Any = None) -> UDPSocket:
+        sock = UDPSocket(self, proc=proc)
+        self._install_fd(proc, sock)
+        return sock
+
+    def _install_fd(self, proc: Any, sock: Any) -> None:
+        if proc is not None:
+            from ..oskern.fdtable import SocketFile
+
+            proc.fdtable.install(SocketFile(socket=sock))
+
+    # -- plumbing ----------------------------------------------------------------
+    def alloc_ephemeral_port(self) -> int:
+        if self._next_ephemeral is None:
+            self._init_ephemeral_range()
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral >= self._ephemeral_base + self._ephemeral_span:
+            self._next_ephemeral = self._ephemeral_base
+        return port
+
+    def default_ip(self) -> IPAddr:
+        """Address used for wildcard-ish binds: public if present."""
+        k = self.kernel
+        if k.public_iface is not None:
+            return k.public_iface.ip
+        if k.local_iface is not None:
+            return k.local_iface.ip
+        raise RuntimeError("stack has no interface")
+
+    def ip_rcv(self, pkt: Packet, iface: Interface) -> None:
+        self.ip.ip_rcv(pkt, iface)
+
+    def ip_rcv_finish(self, pkt: Packet) -> None:
+        self.ip.ip_rcv_finish(pkt)
+
+    def ip_output(self, pkt: Packet) -> None:
+        self.ip.ip_output(pkt)

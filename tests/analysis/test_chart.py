@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import render_chart
+from repro.des import SeriesBundle
+
+
+def make_bundle():
+    b = SeriesBundle()
+    for t in range(0, 101, 10):
+        b.record("node1", t, 70 + t * 0.25)  # rises 70 -> 95
+        b.record("node3", t, 70 - t * 0.1)   # falls 70 -> 60
+    return b
+
+
+class TestRenderChart:
+    def test_contains_axes_and_legend(self):
+        out = render_chart(make_bundle(), title="T")
+        assert out.startswith("T")
+        assert "+---" in out
+        assert "1=node1" in out and "2=node3" in out
+
+    def test_shapes_visible(self):
+        """The rising series' marker ends high, the falling one low."""
+        out = render_chart(make_bundle(), width=40, height=10)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        # Marker '1' (node1) appears in a higher row at the right edge
+        # than marker '2' (node3).
+        last_col_rows = {}
+        for row_idx, line in enumerate(plot_lines):
+            body = line.split("|", 1)[1]
+            for marker in "12":
+                if body.rstrip().endswith(marker):
+                    last_col_rows.setdefault(marker, row_idx)
+        assert last_col_rows["1"] < last_col_rows["2"]  # row 0 is the top
+
+    def test_y_range_clamps(self):
+        out = render_chart(make_bundle(), y_range=(0, 50), height=6)
+        # All values exceed 50: everything clamps to the top row.
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert "1" in plot_lines[0] or "2" in plot_lines[0]
+        for line in plot_lines[1:]:
+            assert "1" not in line.split("|", 1)[1]
+
+    def test_empty_bundle(self):
+        assert "(empty)" in render_chart(SeriesBundle(), title="x")
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            render_chart(make_bundle(), y_range=(10, 10))
+
+    def test_constant_series_no_crash(self):
+        b = SeriesBundle()
+        b.record("flat", 0, 5.0)
+        b.record("flat", 10, 5.0)
+        out = render_chart(b)
+        assert "1=flat" in out
+
+    def test_ylabel(self):
+        out = render_chart(make_bundle(), ylabel="CPU %")
+        assert "(y: CPU %)" in out

@@ -1,0 +1,60 @@
+"""Tests for the text renderers."""
+
+import pytest
+
+from repro.analysis import render_kv, render_series, render_table
+from repro.des import SeriesBundle
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in out
+        assert "30" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_empty_rows(self):
+        out = render_table(["col1", "col2"], [])
+        assert "col1" in out
+
+    def test_floatfmt(self):
+        out = render_table(["x"], [[3.14159]], floatfmt=".4f")
+        assert "3.1416" in out
+
+
+class TestRenderSeries:
+    def make_bundle(self):
+        b = SeriesBundle()
+        for t in range(11):
+            b.record("node1", t, 70 + t)
+            b.record("node2", t, 75.0)
+        return b
+
+    def test_default_grid(self):
+        out = render_series(self.make_bundle(), n_points=5)
+        assert "node1" in out and "node2" in out
+        assert out.count("\n") >= 6
+
+    def test_explicit_times(self):
+        out = render_series(self.make_bundle(), times=[0, 10])
+        assert "0s" in out and "10s" in out
+        assert "80.0" in out  # node1 at t=10
+
+    def test_empty_bundle(self):
+        assert "(empty)" in render_series(SeriesBundle(), title="t")
+
+
+class TestRenderKv:
+    def test_alignment_and_floats(self):
+        out = render_kv({"short": 1.23456, "a-much-longer-key": "text"}, title="T")
+        assert out.startswith("T")
+        assert "1.235" in out
+        assert "a-much-longer-key : text" in out
+
+    def test_empty(self):
+        assert render_kv({}) == ""

@@ -1,0 +1,58 @@
+"""Shared fixtures for core-migration tests."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.testing import establish_clients
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(n_nodes=3, with_db=True)
+
+
+@pytest.fixture
+def two_nodes():
+    return build_cluster(n_nodes=2, with_db=False)
+
+
+def make_server_proc(cluster, node_index=0, npages=64, name="zone_serv0"):
+    """A server process with some memory on the given node."""
+    node = cluster.nodes[node_index]
+    proc = node.kernel.spawn_process(name)
+    proc.address_space.mmap(npages, tag="heap")
+    return node, proc
+
+
+def start_echo(cluster, proc, server_sock):
+    """App behaviour: echo every received message back, 256 B replies."""
+
+    def loop():
+        while True:
+            yield from proc.check_frozen()
+            skb = yield server_sock.recv()
+            if skb.size == 0:
+                return
+            server_sock.send(("echo", skb.payload), 256)
+
+    return cluster.env.process(loop(), name=f"echo-{id(server_sock)}")
+
+
+def start_client_pinger(cluster, csock, interval=0.05, size=64):
+    """Client behaviour: send periodically, count replies."""
+    stats = {"sent": 0, "received": 0}
+
+    def sender():
+        while True:
+            yield cluster.env.timeout(interval)
+            csock.send(("ping", stats["sent"]), size)
+            stats["sent"] += 1
+
+    def reader():
+        while True:
+            yield csock.recv()
+            stats["received"] += 1
+
+    cluster.env.process(sender())
+    cluster.env.process(reader())
+    return stats

@@ -1,0 +1,166 @@
+"""Failure injection: the destination dies mid-migration.
+
+The paper assumes a healthy destination; an adoptable system must not
+strand a frozen process when the peer's migration daemon stops
+answering.  The engine times out on protocol silence and rolls back:
+the process resumes on the source with every socket rehashed, and
+clients see at most an RTO-length blip.
+"""
+
+import pytest
+
+from repro.core import LiveMigrationConfig, MIGD_PORT, install_migd, migrate_process
+from repro.oskern import RpcError
+from repro.testing import establish_clients, run_for
+
+from .conftest import make_server_proc, start_client_pinger, start_echo
+
+
+def kill_migd(host) -> None:
+    """Simulate the migration daemon crashing on a node."""
+    host.control.unregister(MIGD_PORT)
+    host.daemons.pop("migd", None)
+
+
+class TestDestinationFailure:
+    def run_with_failure(self, cluster, kill_after=None, kill_on_freeze=False,
+                         strategy="incremental-collective"):
+        node, proc = make_server_proc(cluster)
+        _, children, clients = establish_clients(cluster, node, proc, 27960, 4)
+        for ch in children:
+            start_echo(cluster, proc, ch)
+        stats = [start_client_pinger(cluster, c) for c in clients]
+        run_for(cluster, 0.5)
+
+        dest = cluster.nodes[1]
+        install_migd(dest)
+
+        def killer():
+            if kill_on_freeze:
+                while not proc.is_frozen:
+                    yield cluster.env.timeout(0.0002)
+            else:
+                yield cluster.env.timeout(0.5 + kill_after)
+            kill_migd(dest)
+
+        cluster.env.process(killer())
+        mig = migrate_process(
+            node, dest, proc,
+            LiveMigrationConfig(strategy=strategy, rpc_timeout=1.0),
+        )
+        report = cluster.env.run(until=mig)
+        return node, dest, proc, children, clients, stats, report
+
+    def test_death_during_precopy_rolls_back(self, two_nodes):
+        node, dest, proc, children, clients, stats, report = self.run_with_failure(
+            two_nodes, kill_after=0.1
+        )
+        assert not report.success
+        assert "aborted" in report.error and "timed out" in report.error
+        # The process never left the source and keeps running.
+        assert proc.kernel is node.kernel
+        assert not proc.is_frozen
+        before = [s["received"] for s in stats]
+        run_for(two_nodes, 1.0)
+        assert all(s["received"] > b for s, b in zip(stats, before))
+
+    def test_death_during_freeze_rolls_back_sockets(self, two_nodes):
+        """Kill right before the freeze: sockets were already unhashed
+        and must be rehashed on the source by the rollback."""
+        node, dest, proc, children, clients, stats, report = self.run_with_failure(
+            two_nodes, kill_on_freeze=True  # dies the instant the app freezes
+        )
+        assert not report.success
+        assert proc.kernel is node.kernel
+        assert not proc.is_frozen
+        # Every socket is hashed on the source again.
+        tables = node.stack.tables
+        for ch in children:
+            assert tables.ehash_lookup(ch.flow_key) is ch
+            assert not ch.migrating
+        # Traffic recovers (a retransmission blip is allowed).
+        before = [s["received"] for s in stats]
+        run_for(two_nodes, 3.0)
+        after = [s["received"] for s in stats]
+        assert all(a > b + 5 for a, b in zip(after, before))
+        for c in clients:
+            assert c.state == "ESTABLISHED"
+
+    def test_rollback_removes_translation_rules(self, cluster):
+        """In-cluster peers' filters are retracted so DB traffic keeps
+        flowing to the (still-source) node."""
+        from repro.core import install_transd
+        from repro.testing import connect_local_tcp
+
+        node, proc = make_server_proc(cluster)
+        transd = install_transd(cluster.db)
+        db_proc = cluster.db.kernel.spawn_process("mysqld")
+        zs_sock, db_sock = connect_local_tcp(
+            cluster, node, proc, cluster.db, db_proc, 3306
+        )
+        dest = cluster.nodes[1]
+        install_migd(dest)
+
+        def killer():
+            # Die the instant the freeze begins: the transd install may
+            # or may not have happened yet; both paths must be safe.
+            while not proc.is_frozen:
+                yield cluster.env.timeout(0.0002)
+            kill_migd(dest)
+
+        cluster.env.process(killer())
+        report = cluster.env.run(
+            until=migrate_process(node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0))
+        )
+        assert not report.success
+        run_for(cluster, 0.5)
+        # Either the rule was never installed or it was retracted.
+        assert transd.rules() == []
+        # The DB session still works against the source node.
+        got = []
+
+        def reader():
+            skb = yield zs_sock.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+
+        def db_reader():
+            skb = yield db_sock.recv()
+            db_sock.send("pong", 64)
+
+        cluster.env.process(db_reader())
+        zs_sock.send("ping", 64)
+        run_for(cluster, 2.0)
+        assert got == ["pong"]
+
+    def test_successful_migration_unaffected_by_timeout_config(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        report = two_nodes.env.run(
+            until=migrate_process(
+                node, two_nodes.nodes[1], proc, LiveMigrationConfig(rpc_timeout=1.0)
+            )
+        )
+        assert report.success
+
+    def test_rpc_timeout_fires_and_late_reply_ignored(self, two_nodes):
+        """ControlPlane-level check: a timed-out rpc fails exactly once,
+        and the eventual (late) reply does not crash anything."""
+        n1, n2 = two_nodes.nodes
+        responders = []
+        n2.control.register(9999, lambda b, s, respond: responders.append(respond))
+        failures = []
+
+        def caller():
+            try:
+                yield n1.control.rpc(n2.local_ip, 9999, "hi", timeout=0.1)
+            except RpcError as exc:
+                failures.append(str(exc))
+
+        two_nodes.env.process(caller())
+        run_for(two_nodes, 0.5)
+        assert len(failures) == 1
+        # The handler answers late: must be silently dropped.
+        responders[0]("late-reply")
+        run_for(two_nodes, 0.5)
+        assert len(failures) == 1

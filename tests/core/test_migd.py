@@ -1,0 +1,152 @@
+"""Unit tests for the migration daemon and bulk channel."""
+
+import pytest
+
+from repro.core import MIGD_PORT, MigrationChannel, install_migd
+from repro.oskern import RpcError
+from repro.testing import run_for
+
+
+@pytest.fixture
+def pair(two_nodes):
+    src, dst = two_nodes.nodes
+    install_migd(src)
+    daemon = install_migd(dst)
+    return two_nodes, src, dst, daemon
+
+
+class TestChannel:
+    def test_request_reply(self, pair):
+        cluster, src, dst, daemon = pair
+        channel = MigrationChannel(src, dst)
+        replies = []
+
+        def go():
+            reply = yield channel.request(
+                {"op": "begin", "pid": 1, "name": "p", "nthreads": 1}, 256
+            )
+            replies.append(reply)
+
+        cluster.env.process(go())
+        run_for(cluster, 0.1)
+        assert replies == [{"ok": True}]
+        assert channel.bytes_sent == 256
+
+    def test_bulk_transfer_takes_proportional_time(self, pair):
+        """A 4 MB payload must occupy ~32 ms of a 1 Gb/s link."""
+        cluster, src, dst, daemon = pair
+        channel = MigrationChannel(src, dst)
+        done_at = []
+
+        def go():
+            yield channel.request(
+                {"op": "begin", "pid": 2, "name": "p", "nthreads": 1}, 4_000_000
+            )
+            done_at.append(cluster.env.now)
+
+        start = cluster.env.now
+        cluster.env.process(go())
+        run_for(cluster, 0.2)
+        elapsed = done_at[0] - start
+        assert 0.030 < elapsed < 0.045
+
+    def test_one_way_send_is_fifo_before_request(self, pair):
+        cluster, src, dst, daemon = pair
+        channel = MigrationChannel(src, dst)
+
+        def go():
+            yield channel.request(
+                {"op": "begin", "pid": 3, "name": "p", "nthreads": 1}, 64
+            )
+            channel.send(
+                {"op": "round", "pid": 3, "pages": {1: 1}, "vmas": None,
+                 "socket_records": []},
+                1000,
+            )
+            yield channel.request(
+                {"op": "round", "pid": 3, "pages": {2: 1}, "vmas": None,
+                 "socket_records": []},
+                64,
+            )
+
+        cluster.env.process(go())
+        run_for(cluster, 0.1)
+        inbound = daemon._inbound[3]
+        # Both rounds were applied, in order.
+        assert inbound.rounds_received == 2
+        assert inbound.staged_pages == {1: 1, 2: 1}
+
+
+class TestDaemonProtocol:
+    def test_unknown_op_is_rpc_error(self, pair):
+        cluster, src, dst, daemon = pair
+        caught = []
+
+        def go():
+            try:
+                yield src.control.rpc(dst.local_ip, MIGD_PORT, {"op": "teleport"})
+            except RpcError as exc:
+                caught.append(str(exc))
+
+        cluster.env.process(go())
+        run_for(cluster, 0.1)
+        assert caught and "unknown op" in caught[0]
+
+    def test_round_without_begin_crashes_cleanly(self, pair):
+        cluster, src, dst, daemon = pair
+        with pytest.raises(RuntimeError, match="no inbound migration"):
+            daemon._handle(
+                {"op": "round", "pid": 999, "pages": {}, "socket_records": []},
+                src.local_ip,
+                None,
+            )
+
+    def test_abort_cleans_up_capture(self, pair):
+        cluster, src, dst, daemon = pair
+
+        def go():
+            yield src.control.rpc(
+                dst.local_ip, MIGD_PORT,
+                {"op": "begin", "pid": 7, "name": "p", "nthreads": 1},
+            )
+            yield src.control.rpc(
+                dst.local_ip, MIGD_PORT,
+                {"op": "capture", "pid": 7, "keys": [(None, 0, 12345)]},
+            )
+            yield src.control.rpc(dst.local_ip, MIGD_PORT, {"op": "abort", "pid": 7})
+
+        cluster.env.process(go())
+        run_for(cluster, 0.2)
+        assert 7 not in daemon._inbound
+        assert daemon.capture.active_keys() == []
+
+    def test_capture_install_charges_time(self, pair):
+        cluster, src, dst, daemon = pair
+        done = []
+
+        def go():
+            yield src.control.rpc(
+                dst.local_ip, MIGD_PORT,
+                {"op": "begin", "pid": 8, "name": "p", "nthreads": 1},
+            )
+            t0 = cluster.env.now
+            keys = [(None, 0, 10000 + i) for i in range(100)]
+            yield src.control.rpc(
+                dst.local_ip, MIGD_PORT, {"op": "capture", "pid": 8, "keys": keys}
+            )
+            done.append(cluster.env.now - t0)
+
+        cluster.env.process(go())
+        run_for(cluster, 0.2)
+        # At least 100 * capture_install_cost beyond the pure RTT.
+        assert done[0] > 100 * dst.kernel.costs.capture_install_cost
+
+    def test_chunk_messages_ignored(self, pair):
+        cluster, src, dst, daemon = pair
+        src.control.send(dst.local_ip, MIGD_PORT, {"op": "chunk"}, size=1000)
+        run_for(cluster, 0.1)  # no error, nothing staged
+        assert daemon._inbound == {}
+
+    def test_install_idempotent(self, pair):
+        cluster, src, dst, daemon = pair
+        assert install_migd(dst) is daemon

@@ -1,0 +1,132 @@
+"""Migration under connection churn: clients connecting, half-open
+handshakes and closing connections right at the migration boundary."""
+
+import pytest
+
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.net import Endpoint
+from repro.tcpip import TCPState
+from repro.testing import establish_clients, run_for
+
+from .conftest import make_server_proc
+
+
+class TestHandshakeChurn:
+    def test_unaccepted_connection_survives(self, two_nodes):
+        """A connection established but never accept()ed migrates inside
+        the listener's accept queue and is delivered after restart."""
+        node, proc = make_server_proc(two_nodes)
+        listener = node.stack.tcp_socket(proc)
+        listener.bind(27960, ip=node.public_ip)
+        listener.listen()
+        client = two_nodes.add_client()
+        csock = client.stack.tcp_socket()
+        csock.connect(Endpoint(two_nodes.public_ip, 27960))
+        run_for(two_nodes, 0.5)
+        assert csock.state == TCPState.ESTABLISHED  # but never accepted
+
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        assert report.success
+        assert report.n_tcp_sockets == 2  # listener + queued child
+
+        accepted = []
+
+        def acceptor():
+            child = yield listener.accept()
+            accepted.append(child)
+
+        two_nodes.env.process(acceptor())
+        run_for(two_nodes, 0.5)
+        assert len(accepted) == 1
+        child = accepted[0]
+        assert child.state == TCPState.ESTABLISHED
+        assert child.stack is two_nodes.nodes[1].stack
+        # And it actually works.
+        got = []
+
+        def reader():
+            skb = yield child.recv()
+            got.append(skb.payload)
+
+        two_nodes.env.process(reader())
+        csock.send("post-migration-hello", 64)
+        run_for(two_nodes, 0.5)
+        assert got == ["post-migration-hello"]
+
+    def test_syn_rcvd_embryo_survives(self, two_nodes):
+        """A half-open (SYN_RCVD) connection at freeze time completes
+        its handshake on the destination."""
+        node, proc = make_server_proc(two_nodes)
+        listener = node.stack.tcp_socket(proc)
+        listener.bind(27960, ip=node.public_ip)
+        listener.listen()
+
+        client = two_nodes.add_client()
+        csock = client.stack.tcp_socket()
+
+        # Start the migration, then fire the SYN so the handshake races
+        # the freeze: wherever it lands, it must complete eventually.
+        mig = migrate_process(
+            node, two_nodes.nodes[1], proc,
+            LiveMigrationConfig(initial_round_timeout=0.08),
+        )
+
+        def late_connect():
+            yield two_nodes.env.timeout(0.12)
+            csock.connect(Endpoint(two_nodes.public_ip, 27960))
+
+        two_nodes.env.process(late_connect())
+        report = two_nodes.env.run(until=mig)
+        assert report.success
+        run_for(two_nodes, 2.0)
+        assert csock.state == TCPState.ESTABLISHED
+
+    def test_close_wait_socket_migrates(self, two_nodes):
+        """A connection the client already half-closed (server in
+        CLOSE_WAIT) migrates and can still be closed cleanly."""
+        node, proc = make_server_proc(two_nodes)
+        _, children, clients = establish_clients(two_nodes, node, proc, 27960, 1)
+        server, client = children[0], clients[0]
+        client.close()
+        run_for(two_nodes, 0.5)
+        assert server.state == TCPState.CLOSE_WAIT
+
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        assert report.success
+        assert server.stack is two_nodes.nodes[1].stack
+        server.close()
+        run_for(two_nodes, 2.0)
+        assert server.state == TCPState.CLOSED
+        assert client.state == TCPState.CLOSED
+
+    def test_closed_fd_slot_migrates_without_hashing(self, two_nodes):
+        """A fully closed socket still occupying an fd moves as a dead
+        slot and never re-enters the lookup tables."""
+        node, proc = make_server_proc(two_nodes)
+        _, children, clients = establish_clients(two_nodes, node, proc, 27960, 2)
+        server, client = children[0], clients[0]
+        # Full close of one connection.
+        eof = []
+
+        def server_reader():
+            skb = yield server.recv()
+            eof.append(skb)
+            server.close()
+
+        two_nodes.env.process(server_reader())
+        client.close()
+        run_for(two_nodes, 2.0)
+        assert server.state == TCPState.CLOSED
+
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        assert report.success
+        dest_tables = two_nodes.nodes[1].stack.tables
+        assert dest_tables.ehash_lookup(server.flow_key) is None
+        # The other, live connection is hashed.
+        assert dest_tables.ehash_lookup(children[1].flow_key) is children[1]

@@ -1,0 +1,149 @@
+"""Both endpoints migratable: zone-server <-> zone-server connections.
+
+The paper's future work (Section VI-C): zone servers may hold direct
+connections with neighbouring zone servers, and migrating those needs
+"careful synchronization among the hosts involved".  The implementation
+adds two mechanisms on top of plain in-cluster translation:
+
+- translation requests resolve the peer's *physical* host through the
+  source host's own filter table (the record of where peers went);
+- the filters rewriting the migrating process's own traffic relocate
+  with it to the destination, before capture starts.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import install_transd, migrate_process
+from repro.testing import connect_local_tcp, run_for
+
+
+@pytest.fixture
+def cluster():
+    # Five nodes: enough for each peer to migrate twice.
+    return build_cluster(n_nodes=5, with_db=False)
+
+
+@pytest.fixture
+def peers(cluster):
+    """Two zone-server processes on different nodes, directly connected."""
+    for host in cluster.nodes:
+        install_transd(host)
+    node_a, node_b = cluster.nodes[0], cluster.nodes[2]
+    proc_a = node_a.kernel.spawn_process("zone_servA")
+    proc_a.address_space.mmap(32)
+    proc_b = node_b.kernel.spawn_process("zone_servB")
+    proc_b.address_space.mmap(32)
+    sock_a, sock_b = connect_local_tcp(
+        cluster, node_a, proc_a, node_b, proc_b, port=31000
+    )
+
+    # Boundary-sync chatter in both directions.
+    stats = {"a": 0, "b": 0}
+
+    def peer_loop(me, sock, key):
+        def sender():
+            while True:
+                yield from me.check_frozen()
+                yield cluster.env.timeout(0.05)
+                sock.send((key, stats[key]), 128)
+
+        def reader():
+            while True:
+                yield sock.recv()
+                stats[key] += 1
+
+        cluster.env.process(sender())
+        cluster.env.process(reader())
+
+    peer_loop(proc_a, sock_a, "a")
+    peer_loop(proc_b, sock_b, "b")
+    run_for(cluster, 0.5)
+    return cluster, proc_a, proc_b, sock_a, sock_b, stats
+
+
+def migrate(cluster, proc, src_idx, dst_idx):
+    report = cluster.env.run(
+        until=migrate_process(
+            cluster.nodes[src_idx], cluster.nodes[dst_idx], proc
+        )
+    )
+    assert report.success
+    return report
+
+
+def assert_flowing(cluster, stats, window=2.0, min_progress=10):
+    before = dict(stats)
+    run_for(cluster, window)
+    assert stats["a"] > before["a"] + min_progress
+    assert stats["b"] > before["b"] + min_progress
+
+
+class TestPeerToPeerMigration:
+    def test_one_side_migrates(self, peers):
+        cluster, proc_a, proc_b, sock_a, sock_b, stats = peers
+        migrate(cluster, proc_a, 0, 1)
+        assert_flowing(cluster, stats)
+        # B's host got the rewrite filter for A.
+        transd_b = cluster.nodes[2].daemons["transd"]
+        assert len(transd_b.rules()) == 1
+
+    def test_both_sides_migrate_sequentially(self, peers):
+        """A moves, then B moves: the translation request for B must
+        reach A's *current* host, and A-side filters must follow A."""
+        cluster, proc_a, proc_b, sock_a, sock_b, stats = peers
+        migrate(cluster, proc_a, 0, 1)   # A: node1 -> node2
+        assert_flowing(cluster, stats)
+        migrate(cluster, proc_b, 2, 3)   # B: node3 -> node4
+        assert_flowing(cluster, stats)
+        # A's current host rewrites toward B's new home, and vice versa.
+        transd_a_host = cluster.nodes[1].daemons["transd"]
+        assert any(
+            r.new_ip == cluster.nodes[3].local_ip for r in transd_a_host.rules()
+        )
+        transd_b_host = cluster.nodes[3].daemons["transd"]
+        assert any(
+            r.new_ip == cluster.nodes[1].local_ip for r in transd_b_host.rules()
+        )
+        # No node dropped anything on checksum grounds.
+        for host in cluster.all_hosts():
+            assert host.stack.ip.checksum_drops == 0
+
+    def test_ping_pong_migrations(self, peers):
+        """A and B each migrate twice; traffic survives every hop."""
+        cluster, proc_a, proc_b, sock_a, sock_b, stats = peers
+        migrate(cluster, proc_a, 0, 1)
+        assert_flowing(cluster, stats)
+        migrate(cluster, proc_b, 2, 3)
+        assert_flowing(cluster, stats)
+        migrate(cluster, proc_a, 1, 4)
+        assert_flowing(cluster, stats)
+        migrate(cluster, proc_b, 3, 0)
+        assert_flowing(cluster, stats)
+        # Sockets carry their original identities through it all.
+        assert sock_a.orig_local_ip == cluster.nodes[0].local_ip
+        assert sock_b.orig_local_ip == cluster.nodes[2].local_ip
+
+    def test_relocated_rule_leaves_source(self, peers):
+        cluster, proc_a, proc_b, sock_a, sock_b, stats = peers
+        migrate(cluster, proc_a, 0, 1)  # B's host (node3) gets the rule
+        migrate(cluster, proc_b, 2, 3)  # ... which must move to node4
+        transd_old_b_host = cluster.nodes[2].daemons["transd"]
+        assert transd_old_b_host.rules() == []
+
+    def test_concurrent_disjoint_migrations(self, peers):
+        """A and B migrate at the same time (disjoint node pairs).
+
+        The paper calls this "careful synchronization among the hosts
+        involved"; the engines serialize their translation updates
+        through each flow's host-resident filter table, and TCP absorbs
+        any transient misrouting by retransmission."""
+        cluster, proc_a, proc_b, sock_a, sock_b, stats = peers
+        m1 = migrate_process(cluster.nodes[0], cluster.nodes[1], proc_a)
+        m2 = migrate_process(cluster.nodes[2], cluster.nodes[3], proc_b)
+        cluster.env.run(until=cluster.env.all_of([m1, m2]))
+        assert m1.value.success and m2.value.success
+        # Allow RTO-based recovery from the race window, then require
+        # steady bidirectional progress.
+        run_for(cluster, 3.0)
+        assert_flowing(cluster, stats, window=3.0)

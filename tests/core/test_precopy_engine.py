@@ -1,0 +1,126 @@
+"""Engine-level tests for the precopy live migration."""
+
+import pytest
+
+from repro.core import LiveMigrationConfig, LiveMigrationEngine, migrate_process
+from repro.testing import run_for
+
+from .conftest import make_server_proc
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = LiveMigrationConfig()
+        assert cfg.freeze_threshold == 0.020  # the paper's 20 ms
+        assert cfg.strategy == "incremental-collective"
+        assert cfg.capture_enabled and cfg.signal_based
+
+    def test_with_overrides(self):
+        cfg = LiveMigrationConfig().with_overrides(freeze_threshold=0.005)
+        assert cfg.freeze_threshold == 0.005
+        assert cfg.strategy == "incremental-collective"
+
+
+class TestEngineBehaviour:
+    def test_round_timeouts_shrink_to_threshold(self, two_nodes):
+        """initial 0.32 * 0.5^k: rounds at 0.32/0.16/0.08/0.04, freeze
+        once the next timeout (0.02) hits the threshold."""
+        node, proc = make_server_proc(two_nodes)
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        assert report.precopy_rounds == 4
+
+    def test_max_rounds_bounds_the_loop(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        cfg = LiveMigrationConfig(
+            initial_round_timeout=10.0, timeout_decay=0.99, max_rounds=3
+        )
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc, cfg)
+        )
+        assert report.precopy_rounds == 3
+        assert report.success
+
+    def test_no_sockets_is_fine(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        assert report.success
+        assert report.n_sockets == 0
+        assert report.bytes.freeze_sockets == 0
+
+    def test_helper_thread_created_and_reaped(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        assert len(proc.threads) == 1
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        # Helper thread did not migrate: thread count preserved.
+        assert len(proc.threads) == 1
+        assert report.success
+
+    def test_report_byte_accounting_consistent(self, two_nodes):
+        node, proc = make_server_proc(two_nodes, npages=100)
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        b = report.bytes
+        assert b.precopy_total == b.precopy_pages + b.precopy_vmas + b.precopy_sockets
+        assert b.freeze_total > 0
+        assert b.total == b.precopy_total + b.freeze_total + b.capture_requests
+        # 100 pages went over in precopy round one.
+        assert b.precopy_pages >= 100 * 4096
+
+    def test_timeline_ordering(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        report = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], proc)
+        )
+        assert (
+            report.started_at
+            < report.frozen_at
+            < report.thawed_at
+            <= report.finished_at
+        )
+        assert report.freeze_time == report.thawed_at - report.frozen_at
+
+    def test_larger_memory_longer_first_round(self, two_nodes):
+        node, small = make_server_proc(two_nodes, npages=32, name="small")
+        r_small = two_nodes.env.run(
+            until=migrate_process(node, two_nodes.nodes[1], small)
+        )
+        node2, big = make_server_proc(two_nodes, node_index=1, npages=8192, name="big")
+        r_big = two_nodes.env.run(
+            until=migrate_process(node2, two_nodes.nodes[0], big)
+        )
+        assert r_big.bytes.precopy_pages > r_small.bytes.precopy_pages * 50
+
+    def test_sequential_migrations_back_and_forth(self, two_nodes):
+        node, proc = make_server_proc(two_nodes, npages=64)
+        a, b = two_nodes.nodes
+        for i in range(4):
+            src, dst = (a, b) if i % 2 == 0 else (b, a)
+            report = two_nodes.env.run(until=migrate_process(src, dst, proc))
+            assert report.success
+            assert proc.kernel is dst.kernel
+
+    def test_two_processes_migrate_concurrently(self, two_nodes):
+        a, b = two_nodes.nodes
+        _, p1 = make_server_proc(two_nodes, node_index=0, npages=64, name="p1")
+        _, p2 = make_server_proc(two_nodes, node_index=1, npages=64, name="p2")
+        m1 = migrate_process(a, b, p1)
+        m2 = migrate_process(b, a, p2)
+        two_nodes.env.run(until=two_nodes.env.all_of([m1, m2]))
+        assert m1.value.success and m2.value.success
+        assert p1.kernel is b.kernel
+        assert p2.kernel is a.kernel
+
+    def test_engine_object_api(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        engine = LiveMigrationEngine(node, two_nodes.nodes[1], proc)
+        ev = engine.start()
+        report = two_nodes.env.run(until=ev)
+        assert report is engine.report
+        assert report.strategy == "incremental-collective"

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on the core migration machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import VMATracker
+from repro.core.sockmig import SocketRecord, SocketStaging
+from repro.core.stats import PhaseBytes
+from repro.net import Endpoint, IPAddr
+from repro.oskern import AddressSpace
+from repro.tcpip.buffers import SKBuff
+
+
+# ---------------------------------------------------------------- staging
+def make_flow():
+    return (
+        Endpoint(IPAddr("203.0.113.10"), 27960),
+        Endpoint(IPAddr("198.51.100.1"), 40000),
+    )
+
+
+skb_ids = st.integers(min_value=1, max_value=20)
+
+delta_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "scalars"]),
+        skb_ids,
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=30,
+)
+
+
+class TestStagingProperties:
+    @given(delta_ops)
+    @settings(max_examples=60)
+    def test_staging_matches_reference_replay(self, ops):
+        """Applying deltas to SocketStaging produces exactly the same
+        state as replaying them against a plain dict reference."""
+        flow = make_flow()
+        base = SocketRecord(
+            proto="tcp", flow=flow, fd=3, scalars={"rcv_nxt": 0}, full=True
+        )
+        staging = SocketStaging()
+        staging.apply(base)
+        ref_scalars = {"rcv_nxt": 0}
+        ref_queue: dict[int, dict] = {}
+
+        for kind, skb_id, val in ops:
+            rec = SocketRecord(proto="tcp", flow=flow, fd=3, full=False)
+            if kind == "add":
+                skb = {"skb_id": skb_id, "seq": val, "size": 10, "payload": None,
+                       "src": None, "ts_jiffies": 0, "retransmits": 0}
+                rec.skbs_add["receive"] = [skb]
+                ref_queue[skb_id] = skb
+            elif kind == "remove":
+                rec.skbs_remove["receive"] = [skb_id]
+                ref_queue.pop(skb_id, None)
+            else:
+                rec.scalars = {"rcv_nxt": val}
+                ref_scalars["rcv_nxt"] = val
+            staging.apply(rec)
+
+        merged = staging.merged(base.flow_id)
+        assert merged.scalars["rcv_nxt"] == ref_scalars["rcv_nxt"]
+        assert merged.queues.get("receive", {}) == ref_queue
+
+    @given(delta_ops)
+    @settings(max_examples=30)
+    def test_full_record_resets_everything(self, ops):
+        flow = make_flow()
+        staging = SocketStaging()
+        staging.apply(
+            SocketRecord(proto="tcp", flow=flow, fd=1, scalars={"x": 1}, full=True)
+        )
+        for kind, skb_id, val in ops:
+            rec = SocketRecord(proto="tcp", flow=flow, fd=1, full=False)
+            if kind == "add":
+                rec.skbs_add["receive"] = [
+                    {"skb_id": skb_id, "seq": val, "size": 1, "payload": None,
+                     "src": None, "ts_jiffies": 0, "retransmits": 0}
+                ]
+            staging.apply(rec)
+        # A fresh full record wipes all accumulated queue state.
+        staging.apply(
+            SocketRecord(proto="tcp", flow=flow, fd=1, scalars={"x": 2}, full=True)
+        )
+        merged = staging.merged(("tcp",) + flow)
+        assert merged.scalars == {"x": 2}
+        assert merged.queues == {}
+
+
+class TestSKBuffProperties:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=1, max_value=65535),
+        st.integers(min_value=0, max_value=10_000_000),
+        st.integers(min_value=-10_000_000, max_value=10_000_000),
+    )
+    @settings(max_examples=100)
+    def test_record_round_trip_shifts_only_jiffies(self, seq, size, ts, delta):
+        skb = SKBuff(seq=seq, size=size, payload="x", ts_jiffies=ts, retransmits=2)
+        restored = SKBuff.from_record(skb.migrate_record(), jiffies_delta=delta)
+        assert restored.seq == skb.seq
+        assert restored.size == skb.size
+        assert restored.payload == skb.payload
+        assert restored.retransmits == skb.retransmits
+        assert restored.ts_jiffies == ts + delta
+
+
+# ---------------------------------------------------------------- tracker
+vma_ops = st.lists(
+    st.tuples(st.sampled_from(["mmap", "munmap", "resize"]),
+              st.integers(min_value=1, max_value=8)),
+    max_size=25,
+)
+
+
+class TestVMATrackerProperties:
+    @given(vma_ops, vma_ops)
+    @settings(max_examples=60)
+    def test_tracker_converges_after_every_batch(self, batch1, batch2):
+        """After any scan, a second scan with no intervening changes is
+        always empty, and the tracked count equals the live count."""
+        space = AddressSpace()
+        tracker = VMATracker()
+
+        def apply(batch):
+            for op, n in batch:
+                if op == "mmap":
+                    space.mmap(n)
+                elif op == "munmap" and space.vmas:
+                    space.munmap(space.vmas[n % len(space.vmas)])
+                elif op == "resize" and space.vmas:
+                    area = space.vmas[n % len(space.vmas)]
+                    try:
+                        space.resize(area, n)
+                    except ValueError:
+                        pass  # would overlap: skip
+
+        for batch in (batch1, batch2):
+            apply(batch)
+            tracker.scan(space)
+            assert tracker.scan(space).empty
+            assert tracker.tracked_count == len(space.vmas)
+
+    @given(vma_ops)
+    @settings(max_examples=60)
+    def test_diff_counts_match_set_difference(self, batch):
+        space = AddressSpace()
+        tracker = VMATracker()
+        tracker.scan(space)
+        before_ids = {v.vma_id for v in space.vmas}
+
+        for op, n in batch:
+            if op == "mmap":
+                space.mmap(n)
+            elif op == "munmap" and space.vmas:
+                space.munmap(space.vmas[n % len(space.vmas)])
+
+        after_ids = {v.vma_id for v in space.vmas}
+        diff = tracker.scan(space)
+        assert len(diff.inserted) == len(after_ids - before_ids)
+        assert set(diff.removed) == before_ids - after_ids
+
+
+# ---------------------------------------------------------------- stats
+class TestPhaseBytesProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    min_size=9, max_size=9))
+    @settings(max_examples=50)
+    def test_totals_are_sums(self, vals):
+        b = PhaseBytes(*vals)
+        assert b.precopy_total == vals[0] + vals[1] + vals[2]
+        assert b.freeze_total == sum(vals[3:8])
+        assert b.total == b.precopy_total + b.freeze_total + vals[8]

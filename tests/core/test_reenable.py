@@ -1,0 +1,82 @@
+"""Direct unit tests for the rollback primitive reenable_socket."""
+
+import pytest
+
+from repro.core.sockmig import disable_socket, reenable_socket
+from repro.testing import establish_clients, run_for
+
+from .conftest import make_server_proc
+
+
+class TestReenableSocket:
+    def test_established_tcp_round_trip(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        _, children, clients = establish_clients(two_nodes, node, proc, 27960, 1)
+        sock = children[0]
+        disable_socket(sock)
+        assert node.stack.tables.ehash_lookup(sock.flow_key) is None
+        reenable_socket(sock)
+        assert node.stack.tables.ehash_lookup(sock.flow_key) is sock
+        assert not sock.migrating
+        # Traffic flows again.
+        got = []
+
+        def reader():
+            skb = yield sock.recv()
+            got.append(skb.payload)
+
+        two_nodes.env.process(reader())
+        clients[0].send("back", 64)
+        run_for(two_nodes, 0.5)
+        assert got == ["back"]
+
+    def test_restarts_rto_for_pending_data(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        _, children, clients = establish_clients(two_nodes, node, proc, 27960, 1)
+        sock = children[0]
+        sock.send("pending", 64)
+        disable_socket(sock)
+        assert not sock.rto_armed
+        reenable_socket(sock)
+        assert sock.rto_armed
+
+    def test_listener_round_trip(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        listener, *_ = establish_clients(two_nodes, node, proc, 27960, 1)
+        disable_socket(listener)
+        assert node.stack.tables.bhash_lookup(node.public_ip, 27960) is None
+        reenable_socket(listener)
+        assert node.stack.tables.bhash_lookup(node.public_ip, 27960) is listener
+
+    def test_udp_round_trip(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        sock = node.stack.udp_socket(proc)
+        sock.bind(5000, ip=node.public_ip)
+        disable_socket(sock)
+        reenable_socket(sock)
+        assert node.stack.tables.udp_lookup(node.public_ip, 5000) is sock
+        assert sock.hashed
+
+    def test_idempotent(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        _, children, _ = establish_clients(two_nodes, node, proc, 27960, 1)
+        sock = children[0]
+        disable_socket(sock)
+        reenable_socket(sock)
+        reenable_socket(sock)  # second call must not double-hash
+        assert node.stack.tables.ehash_lookup(sock.flow_key) is sock
+
+    def test_closed_socket_not_rehashed(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        _, children, clients = establish_clients(two_nodes, node, proc, 27960, 1)
+        sock = children[0]
+        from repro.tcpip import TCPState
+
+        disable_socket(sock)
+        sock.state = TCPState.CLOSED
+        reenable_socket(sock)
+        assert node.stack.tables.ehash_lookup(sock.flow_key) is None
+
+    def test_non_socket_rejected(self, two_nodes):
+        with pytest.raises(TypeError):
+            reenable_socket(object())

@@ -1,0 +1,278 @@
+"""Unit tests for socket subtraction, tracking, staging and restore."""
+
+import pytest
+
+from repro.core import (
+    SocketStaging,
+    SocketTracker,
+    disable_socket,
+    restore_sockets,
+    subtract_tcp_socket,
+    subtract_udp_socket,
+)
+from repro.core.sockmig import SCALAR_CHANGE_BYTES
+from repro.net import Endpoint, IPAddr
+from repro.oskern import CostModel
+from repro.testing import establish_clients, run_for
+
+from .conftest import make_server_proc
+
+COSTS = CostModel()
+
+
+@pytest.fixture
+def served(two_nodes):
+    node, proc = make_server_proc(two_nodes)
+    listener, children, clients = establish_clients(two_nodes, node, proc, 27960, 2)
+    return two_nodes, node, proc, listener, children, clients
+
+
+class TestSubtract:
+    def test_full_tcp_record(self, served):
+        cluster, node, proc, _, children, clients = served
+        clients[0].send("queued", 64)
+        run_for(cluster, 0.05)
+        sock = children[0]
+        rec = subtract_tcp_socket(sock, fd=3, costs=COSTS)
+        assert rec.full
+        assert rec.fd == 3
+        assert rec.scalars["state"] == "ESTABLISHED"
+        assert rec.scalars["rcv_nxt"] == sock.rcv_nxt
+        recv = rec.skbs_add["receive"]
+        assert len(recv) == 1 and recv[0]["payload"] == "queued"
+        assert rec.nbytes == COSTS.tcp_state_bytes + 64 + COSTS.skb_meta_bytes
+
+    def test_udp_record(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        sock = node.stack.udp_socket(proc)
+        sock.bind(27960, ip=node.public_ip)
+        rec = subtract_udp_socket(sock, fd=1, costs=COSTS)
+        assert rec.proto == "udp"
+        assert rec.scalars["bound"] is True
+        assert rec.nbytes == COSTS.udp_state_bytes
+
+    def test_disable_unhashes_and_stops_timer(self, served):
+        cluster, node, proc, listener, children, clients = served
+        sock = children[0]
+        clients[0].send("x", 64)  # triggers nothing on write side of server
+        sock.send("pending", 64)
+        assert sock.rto_armed
+        disable_socket(sock)
+        assert node.stack.tables.ehash_lookup(sock.flow_key) is None
+        assert not sock.rto_armed
+        assert sock.migrating
+
+    def test_disable_listener_removes_bhash(self, served):
+        cluster, node, proc, listener, *_ = served
+        disable_socket(listener)
+        assert node.stack.tables.bhash_lookup(node.public_ip, 27960) is None
+
+    def test_disable_udp(self, two_nodes):
+        node, proc = make_server_proc(two_nodes)
+        sock = node.stack.udp_socket(proc)
+        sock.bind(5000, ip=node.public_ip)
+        disable_socket(sock)
+        assert node.stack.tables.udp_lookup(node.public_ip, 5000) is None
+
+    def test_disable_non_socket_rejected(self):
+        with pytest.raises(TypeError):
+            disable_socket("not a socket")
+
+
+class TestTracker:
+    def test_first_delta_is_full(self, served):
+        _, _, _, _, children, _ = served
+        tracker = SocketTracker(COSTS)
+        rec = tracker.delta(children[0], fd=3)
+        assert rec is not None and rec.full
+
+    def test_quiescent_delta_is_tiny(self, served):
+        _, _, _, _, children, _ = served
+        tracker = SocketTracker(COSTS)
+        tracker.delta(children[0], fd=3)
+        rec = tracker.delta(children[0], fd=3)
+        assert not rec.full
+        assert rec.scalars is None
+        assert rec.nbytes == COSTS.tcp_delta_bytes
+
+    def test_traffic_changes_show_in_delta(self, served):
+        cluster, _, _, _, children, clients = served
+        tracker = SocketTracker(COSTS)
+        tracker.delta(children[0], fd=3)
+        clients[0].send("new-data", 64)
+        run_for(cluster, 0.05)
+        rec = tracker.delta(children[0], fd=3)
+        assert rec.scalars is not None  # rcv_nxt advanced
+        assert len(rec.skbs_add["receive"]) == 1
+        assert rec.nbytes >= COSTS.tcp_delta_bytes + SCALAR_CHANGE_BYTES + 64
+
+    def test_consumed_data_shows_as_removal(self, served):
+        cluster, _, _, _, children, clients = served
+        sock = children[0]
+        clients[0].send("will-be-read", 64)
+        run_for(cluster, 0.05)
+        tracker = SocketTracker(COSTS)
+        tracker.delta(sock, fd=3)
+        got = sock.recv()  # pops the buffered skb
+        assert got.triggered
+        rec = tracker.delta(sock, fd=3)
+        assert rec.skbs_remove.get("receive")
+
+    def test_locked_socket_skipped_during_precopy(self, served):
+        _, _, _, _, children, _ = served
+        sock = children[0]
+        tracker = SocketTracker(COSTS)
+        sock.lock_user()
+        assert tracker.delta(sock, fd=3) is None
+        sock.unlock_user()
+        assert tracker.delta(sock, fd=3) is not None
+
+    def test_freeze_never_skips(self, served):
+        _, _, _, _, children, _ = served
+        sock = children[0]
+        tracker = SocketTracker(COSTS)
+        sock.lock_user()
+        rec = tracker.delta(sock, fd=3, during_precopy=False)
+        assert rec is not None
+        sock.unlock_user()
+
+    def test_subtract_cost(self, served):
+        _, _, _, _, children, _ = served
+        tracker = SocketTracker(COSTS)
+        assert tracker.subtract_cost(children[0], full=True) == COSTS.tcp_subtract_cost
+        assert tracker.subtract_cost(children[0], full=False) == COSTS.tcp_incremental_cost
+
+
+class TestStagingAndRestore:
+    def test_staging_merges_deltas(self, served):
+        cluster, _, _, _, children, clients = served
+        sock = children[0]
+        tracker = SocketTracker(COSTS)
+        staging = SocketStaging()
+        staging.apply(tracker.delta(sock, fd=3))
+        clients[0].send("late", 64)
+        run_for(cluster, 0.05)
+        staging.apply(tracker.delta(sock, fd=3))
+        merged = staging.merged(("tcp", sock.local, sock.remote))
+        assert merged.scalars["rcv_nxt"] == sock.rcv_nxt
+        assert len(merged.queues["receive"]) == 1
+
+    def test_first_record_must_be_full(self):
+        from repro.core.sockmig import SocketRecord
+
+        staging = SocketStaging()
+        rec = SocketRecord(proto="tcp", flow=(None, None), fd=1, full=False)
+        with pytest.raises(ValueError):
+            staging.apply(rec)
+
+    def test_restore_round_trip_new_object(self, served):
+        cluster, node, proc, _, children, clients = served
+        other = cluster.nodes[1]
+        sock = children[0]
+        clients[0].send("inflight", 64)
+        run_for(cluster, 0.05)
+        scal_before = {
+            "rcv_nxt": sock.rcv_nxt,
+            "snd_nxt": sock.snd_nxt,
+            "ts_recent": sock.ts_recent,
+        }
+        rec = subtract_tcp_socket(sock, fd=3, costs=COSTS)
+        disable_socket(sock)
+        staging = SocketStaging()
+        staging.apply(rec)
+        proc2 = other.kernel.spawn_process("restored")
+        restored = restore_sockets(other.stack, proc2, staging, jiffies_delta=0)
+        assert len(restored) == 1
+        r = restored[0]
+        assert r is not sock
+        assert r.rcv_nxt == scal_before["rcv_nxt"]
+        assert r.snd_nxt == scal_before["snd_nxt"]
+        assert r.ts_recent == scal_before["ts_recent"]
+        assert other.stack.tables.ehash_lookup(r.flow_key) is r
+        assert len(r.receive_queue) == 1
+        assert proc2.fdtable.get(3).socket is r
+
+    def test_restore_in_place_preserves_identity(self, served):
+        cluster, node, proc, _, children, clients = served
+        other = cluster.nodes[1]
+        sock = children[0]
+        rec = subtract_tcp_socket(sock, fd=3, costs=COSTS)
+        disable_socket(sock)
+        staging = SocketStaging()
+        staging.apply(rec)
+        restored = restore_sockets(
+            other.stack, proc, staging, jiffies_delta=0,
+            originals={rec.flow_id: sock},
+        )
+        assert restored[0] is sock
+        assert sock.stack is other.stack
+        assert other.stack.tables.ehash_lookup(sock.flow_key) is sock
+
+    def test_jiffies_delta_shifts_buffers_and_offset(self, served):
+        cluster, node, proc, _, children, clients = served
+        other = cluster.nodes[1]
+        sock = children[0]
+        clients[0].send("stamped", 64)
+        run_for(cluster, 0.05)
+        skb_ts = list(sock.receive_queue)[0].ts_jiffies
+        off = sock.ts_offset
+        rec = subtract_tcp_socket(sock, fd=3, costs=COSTS)
+        disable_socket(sock)
+        staging = SocketStaging()
+        staging.apply(rec)
+        delta = 5000
+        restored = restore_sockets(other.stack, proc, staging, jiffies_delta=delta)
+        r = restored[0]
+        assert list(r.receive_queue)[0].ts_jiffies == skb_ts + delta
+        assert r.ts_offset == off - delta
+
+    def test_write_queue_restored_in_order_with_timer(self, served):
+        cluster, node, proc, _, children, clients = served
+        other = cluster.nodes[1]
+        sock = children[0]
+        disable_socket(sock)  # prevent ACK processing: keep segments queued
+        sock.migrating = False
+        sock.send("a", 64)
+        sock.send("b", 64)
+        rec = subtract_tcp_socket(sock, fd=3, costs=COSTS)
+        sock._stop_rto()
+        staging = SocketStaging()
+        staging.apply(rec)
+        restored = restore_sockets(other.stack, other.kernel.spawn_process("p"), staging, 0)
+        r = restored[0]
+        assert [b.payload for b in r.write_queue] == ["a", "b"]
+        assert r.rto_armed  # retransmission timer restarted
+
+    def test_local_ip_rewrite(self, served):
+        cluster, node, proc, _, children, _ = served
+        other = cluster.nodes[1]
+        sock = children[0]
+        rec = subtract_tcp_socket(sock, fd=3, costs=COSTS)
+        disable_socket(sock)
+        staging = SocketStaging()
+        staging.apply(rec)
+        old_ip = sock.local.ip
+        new_ip = IPAddr("192.168.0.99")
+        restored = restore_sockets(
+            other.stack, other.kernel.spawn_process("p"), staging, 0,
+            local_ip_rewrite={old_ip: new_ip},
+        )
+        r = restored[0]
+        assert r.local.ip == new_ip
+        assert r.orig_local_ip == old_ip
+        assert other.stack.tables.ehash_lookup(r.flow_key) is r
+
+    def test_listener_restore_rebinds(self, served):
+        cluster, node, proc, listener, _, _ = served
+        other = cluster.nodes[1]
+        fd = proc.fdtable.fd_of(
+            next(sf for _fd, sf in proc.fdtable.sockets() if sf.socket is listener)
+        )
+        rec = subtract_tcp_socket(listener, fd=fd, costs=COSTS)
+        disable_socket(listener)
+        staging = SocketStaging()
+        staging.apply(rec)
+        restored = restore_sockets(other.stack, other.kernel.spawn_process("p"), staging, 0)
+        r = restored[0]
+        assert r.state == "LISTEN"
+        assert other.stack.tables.bhash_lookup(node.public_ip, 27960) is r

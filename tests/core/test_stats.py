@@ -1,0 +1,64 @@
+"""Unit tests for migration reports."""
+
+import json
+
+import pytest
+
+from repro.core import MigrationReport, PhaseBytes
+
+
+def make_report(**kw):
+    defaults = dict(
+        strategy="incremental-collective",
+        source="node1",
+        destination="node2",
+        pid=1000,
+        process_name="zone_serv0",
+        started_at=1.0,
+        frozen_at=1.6,
+        thawed_at=1.62,
+        finished_at=1.621,
+        precopy_rounds=4,
+        success=True,
+    )
+    defaults.update(kw)
+    return MigrationReport(**defaults)
+
+
+class TestMigrationReport:
+    def test_derived_times(self):
+        r = make_report()
+        assert r.freeze_time == pytest.approx(0.02)
+        assert r.total_time == pytest.approx(0.621)
+
+    def test_socket_counts(self):
+        r = make_report(n_tcp_sockets=5, n_udp_sockets=2)
+        assert r.n_sockets == 7
+
+    def test_summary_contains_essentials(self):
+        r = make_report(n_tcp_sockets=3)
+        s = r.summary()
+        assert "node1->node2" in s
+        assert "sockets=3" in s
+        assert "freeze=20.00ms" in s
+
+    def test_to_dict_json_round_trip(self):
+        r = make_report(
+            bytes=PhaseBytes(precopy_pages=100, freeze_sockets=50),
+            jiffies_delta=777,
+        )
+        d = r.to_dict()
+        encoded = json.dumps(d)  # must be JSON-serializable
+        back = json.loads(encoded)
+        assert back["strategy"] == "incremental-collective"
+        assert back["freeze_time"] == pytest.approx(0.02)
+        assert back["bytes"]["precopy_pages"] == 100
+        assert back["bytes"]["precopy_total"] == 100
+        assert back["bytes"]["total"] == 150
+        assert back["jiffies_delta"] == 777
+
+    def test_phase_bytes_defaults_zero(self):
+        b = PhaseBytes()
+        assert b.total == 0
+        assert b.precopy_total == 0
+        assert b.freeze_total == 0

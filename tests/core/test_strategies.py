@@ -1,0 +1,141 @@
+"""Strategy comparison tests: the orderings Figure 5b/5c report."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import (
+    LiveMigrationConfig,
+    STRATEGIES,
+    enumerate_sockets,
+    make_strategy,
+    migrate_process,
+)
+from repro.testing import establish_clients, run_for
+
+
+def migrate_with(n_conns, strategy, npages=256):
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv")
+    area = proc.address_space.mmap(npages, tag="heap")
+    _, children, clients = establish_clients(cluster, node, proc, 27960, n_conns, settle=2.0)
+
+    def rt_loop():
+        while True:
+            yield from proc.check_frozen()
+            yield cluster.env.timeout(0.05)
+            proc.address_space.write_range(area, count=10)
+            for ch in children:
+                ch.send("update", 256)
+
+    cluster.env.process(rt_loop())
+    run_for(cluster, 0.3)
+    ev = migrate_process(
+        node, cluster.nodes[1], proc, LiveMigrationConfig(strategy=strategy)
+    )
+    return cluster.env.run(until=ev)
+
+
+class TestFactory:
+    def test_known_strategies(self):
+        assert set(STRATEGIES) == {
+            "iterative",
+            "collective",
+            "incremental-collective",
+        }
+        for name in STRATEGIES:
+            assert make_strategy(name).name == name
+
+    def test_instance_passthrough(self):
+        s = make_strategy("collective")
+        assert make_strategy(s) is s
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("teleport")
+
+
+class TestEnumerate:
+    def test_includes_listener_children(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("p")
+        listener, children, _ = establish_clients(cluster, node, proc, 27960, 2)
+        entries = enumerate_sockets(proc)
+        # listener + 2 accepted children (each with an fd).
+        socks = [e.sock for e in entries]
+        assert listener in socks
+        for ch in children:
+            assert ch in socks
+
+    def test_unaccepted_children_enumerated_without_fd(self):
+        from repro.net import Endpoint
+
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("p")
+        listener = node.stack.tcp_socket(proc)
+        listener.bind(27960, ip=node.public_ip)
+        listener.listen()
+        client = cluster.add_client()
+        csock = client.stack.tcp_socket()
+        csock.connect(Endpoint(cluster.public_ip, 27960))
+        run_for(cluster, 1.0)  # established, but never accept()ed
+        entries = enumerate_sockets(proc)
+        queued = [e for e in entries if e.parent_port == 27960]
+        assert len(queued) == 1
+        assert queued[0].fd is None
+
+
+class TestOrderings:
+    """The qualitative results of Section VI-D, at test scale (64 conns)."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {s: migrate_with(64, s) for s in STRATEGIES}
+
+    def test_all_succeed_and_count_sockets(self, reports):
+        for rep in reports.values():
+            assert rep.success
+            assert rep.n_tcp_sockets == 65  # 64 children + listener
+
+    def test_freeze_time_ordering(self, reports):
+        """iterative > collective > incremental-collective."""
+        it = reports["iterative"].freeze_time
+        co = reports["collective"].freeze_time
+        inc = reports["incremental-collective"].freeze_time
+        assert it > co > inc
+
+    def test_freeze_bytes_ordering(self, reports):
+        """Iterative and collective transfer (nearly) the same bytes;
+        incremental transfers much less (Fig. 5c)."""
+        it = reports["iterative"].bytes.freeze_sockets
+        co = reports["collective"].bytes.freeze_sockets
+        inc = reports["incremental-collective"].bytes.freeze_sockets
+        assert inc < it / 3
+        assert abs(it - co) / max(it, co) < 0.25
+
+    def test_incremental_moves_socket_bytes_to_precopy(self, reports):
+        inc = reports["incremental-collective"]
+        assert inc.bytes.precopy_sockets > 0
+        for other in ("iterative", "collective"):
+            assert reports[other].bytes.precopy_sockets == 0
+
+    def test_capture_request_bytes(self, reports):
+        """Iterative sends one capture request per socket; collective
+        aggregates into a single larger one."""
+        it = reports["iterative"].bytes.capture_requests
+        co = reports["collective"].bytes.capture_requests
+        assert it > co  # 65 bases vs 1 base + 65 per-socket entries
+
+    def test_iterative_freeze_scales_linearly(self):
+        small = migrate_with(16, "iterative")
+        large = migrate_with(64, "iterative")
+        ratio = large.freeze_time / small.freeze_time
+        assert 2.0 < ratio < 6.0  # ~4x sockets -> ~4x freeze
+
+    def test_incremental_freeze_nearly_flat(self):
+        small = migrate_with(16, "incremental-collective")
+        large = migrate_with(64, "incremental-collective")
+        ratio = large.freeze_time / small.freeze_time
+        assert ratio < 2.5

@@ -1,0 +1,89 @@
+"""Unit tests for VMA change tracking."""
+
+from repro.core import VMATracker
+from repro.oskern import AddressSpace
+
+
+class TestVMATracker:
+    def test_first_scan_reports_all_inserted(self):
+        space = AddressSpace()
+        space.mmap(4, tag="heap")
+        space.mmap(2, tag="stack")
+        tracker = VMATracker()
+        diff = tracker.scan(space)
+        assert len(diff.inserted) == 2
+        assert not diff.modified and not diff.removed
+        assert tracker.tracked_count == 2
+
+    def test_steady_state_is_empty(self):
+        space = AddressSpace()
+        space.mmap(4)
+        tracker = VMATracker()
+        tracker.scan(space)
+        diff = tracker.scan(space)
+        assert diff.empty
+
+    def test_insertion_detected(self):
+        space = AddressSpace()
+        tracker = VMATracker()
+        tracker.scan(space)
+        space.mmap(3, tag="new")
+        diff = tracker.scan(space)
+        assert len(diff.inserted) == 1
+        assert diff.inserted[0][3] == "new"
+
+    def test_removal_detected(self):
+        space = AddressSpace()
+        a = space.mmap(3)
+        tracker = VMATracker()
+        tracker.scan(space)
+        space.munmap(a)
+        diff = tracker.scan(space)
+        assert diff.removed == [a.vma_id]
+        assert tracker.tracked_count == 0
+
+    def test_resize_is_modification_not_insert(self):
+        space = AddressSpace()
+        a = space.mmap(3)
+        tracker = VMATracker()
+        tracker.scan(space)
+        space.resize(a, 6)
+        diff = tracker.scan(space)
+        assert len(diff.modified) == 1
+        assert not diff.inserted and not diff.removed
+
+    def test_mixed_changes(self):
+        space = AddressSpace()
+        a = space.mmap(3)
+        b = space.mmap(2)
+        tracker = VMATracker()
+        tracker.scan(space)
+        space.munmap(a)
+        space.resize(b, 4)
+        space.mmap(1)
+        diff = tracker.scan(space)
+        assert len(diff.inserted) == 1
+        assert len(diff.modified) == 1
+        assert diff.removed == [a.vma_id]
+
+    def test_record_bytes(self):
+        space = AddressSpace()
+        space.mmap(1)
+        tracker = VMATracker()
+        diff = tracker.scan(space)
+        assert diff.record_bytes() == 32
+        assert tracker.scan(space).record_bytes() == 0
+
+    def test_compare_cost_scales(self):
+        space = AddressSpace()
+        for _ in range(10):
+            space.mmap(1)
+        tracker = VMATracker()
+        tracker.scan(space)
+        assert tracker.compare_cost(space, per_vma=1.0) == 20  # both lists
+
+    def test_current_map(self):
+        space = AddressSpace()
+        a = space.mmap(3, tag="x")
+        tracker = VMATracker()
+        assert tracker.current_map(space) == [(a.start, a.end, "rw", "x")]

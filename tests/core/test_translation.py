@@ -1,0 +1,212 @@
+"""Tests for transd and the local address-translation filters."""
+
+import pytest
+
+from repro.core import TRANSD_PORT, TranslationRule, install_transd
+from repro.net import Endpoint, IPAddr
+from repro.testing import connect_local_tcp, run_for
+
+from .conftest import make_server_proc
+
+
+@pytest.fixture
+def local_conn(cluster):
+    """A zone-server-like process on node1 with a TCP session to the DB."""
+    node, proc = make_server_proc(cluster)
+    db_proc = cluster.db.kernel.spawn_process("mysqld")
+    zs_sock, db_sock = connect_local_tcp(
+        cluster, node, proc, cluster.db, db_proc, port=3306
+    )
+    return cluster, node, proc, zs_sock, db_sock
+
+
+def manual_move(cluster, zs_sock, src_node, dst_node):
+    """Move a socket's state to another node by hand (the full engine is
+    exercised in test_live_migration)."""
+    from repro.core import (
+        SocketStaging,
+        disable_socket,
+        restore_sockets,
+        subtract_tcp_socket,
+    )
+
+    rec = subtract_tcp_socket(zs_sock, fd=None, costs=src_node.kernel.costs)
+    disable_socket(zs_sock)
+    staging = SocketStaging()
+    staging.apply(rec)
+    delta = dst_node.kernel.jiffies.jiffies - src_node.kernel.jiffies.jiffies
+    restore_sockets(
+        dst_node.stack,
+        dst_node.kernel.spawn_process("moved"),
+        staging,
+        jiffies_delta=delta,
+        local_ip_rewrite={src_node.local_ip: dst_node.local_ip},
+        originals={rec.flow_id: zs_sock},
+    )
+
+
+class TestTranslationFilters:
+    def test_peer_outgoing_rewritten_and_delivered(self, local_conn):
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        dest = cluster.nodes[1]
+        transd = install_transd(cluster.db)
+        transd.install(
+            TranslationRule(
+                old_ip=node.local_ip,
+                new_ip=dest.local_ip,
+                mig_port=zs_sock.local.port,
+                peer_port=3306,
+            )
+        )
+        manual_move(cluster, zs_sock, node, dest)
+        got = []
+
+        def reader():
+            skb = yield zs_sock.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+        db_sock.send("result-set", 200)
+        run_for(cluster, 0.5)
+        assert got == ["result-set"]
+        assert transd.out_translated >= 1
+        # The DB-side socket never noticed anything.
+        assert db_sock.remote.ip == node.local_ip
+
+    def test_migrated_to_peer_direction(self, local_conn):
+        """Traffic from the migrated socket reaches the peer's unchanged
+        socket: incoming src is rewritten back to the original IP."""
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        dest = cluster.nodes[1]
+        transd = install_transd(cluster.db)
+        transd.install(
+            TranslationRule(
+                old_ip=node.local_ip,
+                new_ip=dest.local_ip,
+                mig_port=zs_sock.local.port,
+                peer_port=3306,
+            )
+        )
+        manual_move(cluster, zs_sock, node, dest)
+        got = []
+
+        def reader():
+            skb = yield db_sock.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+        zs_sock.send("UPDATE world SET ...", 150)
+        run_for(cluster, 0.5)
+        assert got == ["UPDATE world SET ..."]
+        assert transd.in_translated >= 1
+        assert cluster.db.stack.ip.checksum_drops == 0
+
+    def test_stale_dst_cache_without_fix_goes_to_old_node(self, local_conn):
+        """Negative control for Section V-D: rewriting only the header
+        leaves the destination-cache entry pointing at the old node."""
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        dest = cluster.nodes[1]
+        transd = install_transd(cluster.db)
+        transd.install(
+            TranslationRule(
+                old_ip=node.local_ip,
+                new_ip=dest.local_ip,
+                mig_port=zs_sock.local.port,
+                peer_port=3306,
+                fix_dst_cache=False,
+            )
+        )
+        manual_move(cluster, zs_sock, node, dest)
+        db_sock.send("lost", 64)
+        run_for(cluster, 0.1)
+        assert len(zs_sock.receive_queue) == 0
+        # The packet physically went to the OLD node (dst cache) where
+        # no matching socket exists any more.
+        assert node.stack.ip.no_socket_drops >= 1
+
+    def test_broken_checksum_without_fix_is_dropped(self, local_conn):
+        """Negative control: forgetting the checksum update makes the
+        receiving stack drop the packet."""
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        dest = cluster.nodes[1]
+        transd = install_transd(cluster.db)
+        transd.install(
+            TranslationRule(
+                old_ip=node.local_ip,
+                new_ip=dest.local_ip,
+                mig_port=zs_sock.local.port,
+                peer_port=3306,
+                fix_checksum=False,
+            )
+        )
+        manual_move(cluster, zs_sock, node, dest)
+        db_sock.send("corrupt", 64)
+        run_for(cluster, 0.1)
+        assert len(zs_sock.receive_queue) == 0
+        assert dest.stack.ip.checksum_drops >= 1
+
+    def test_rules_removable(self, local_conn):
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        transd = install_transd(cluster.db)
+        rule = TranslationRule(
+            old_ip=node.local_ip,
+            new_ip=cluster.nodes[1].local_ip,
+            mig_port=zs_sock.local.port,
+            peer_port=3306,
+        )
+        transd.install(rule)
+        assert len(transd.rules()) == 1
+        transd.remove(rule)
+        assert transd.rules() == []
+        assert len(cluster.db.kernel.netfilter.hooks("NF_INET_LOCAL_OUT")) == 0
+
+    def test_unrelated_traffic_untouched(self, local_conn):
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        transd = install_transd(cluster.db)
+        transd.install(
+            TranslationRule(
+                old_ip=node.local_ip,
+                new_ip=cluster.nodes[1].local_ip,
+                mig_port=zs_sock.local.port,
+                peer_port=3306,
+            )
+        )
+        # A different connection from node3 to the DB must pass cleanly.
+        other_proc = cluster.nodes[2].kernel.spawn_process("other")
+        db_proc2 = cluster.db.kernel.spawn_process("mysqld2")
+        a, b = connect_local_tcp(
+            cluster, cluster.nodes[2], other_proc, cluster.db, db_proc2, port=3307
+        )
+        got = []
+
+        def reader():
+            skb = yield b.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+        a.send("other-query", 64)
+        run_for(cluster, 0.2)
+        assert got == ["other-query"]
+
+    def test_control_plane_install(self, local_conn):
+        """transd answers install RPCs from other nodes."""
+        cluster, node, proc, zs_sock, db_sock = local_conn
+        transd = install_transd(cluster.db)
+        rule = TranslationRule(
+            old_ip=node.local_ip,
+            new_ip=cluster.nodes[1].local_ip,
+            mig_port=zs_sock.local.port,
+            peer_port=3306,
+        )
+        replies = []
+
+        def requester():
+            reply = yield node.control.rpc(
+                cluster.db.local_ip, TRANSD_PORT, {"op": "install", "rule": rule}
+            )
+            replies.append(reply)
+
+        cluster.env.process(requester())
+        run_for(cluster, 0.1)
+        assert replies and replies[0]["ok"]
+        assert len(transd.rules()) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for the simulation environment run loop."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.engine import EmptySchedule
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        hits = []
+        for d in (1.0, 2.0, 3.0):
+            env.timeout(d).callbacks.append(lambda e, d=d: hits.append(d))
+        env.run(until=2.5)
+        assert hits == [1.0, 2.0]
+        assert env.now == 2.5
+
+    def test_run_until_event_returns_value(self, env):
+        t = env.timeout(4.0, value="payload")
+        assert env.run(until=t) == "payload"
+        assert env.now == 4.0
+
+    def test_run_until_processed_event_is_noop(self, env):
+        t = env.timeout(1.0, value="v")
+        env.run(until=2.0)
+        assert env.run(until=t) == "v"
+        assert env.now == 2.0
+
+    def test_run_empty_returns_none(self, env):
+        assert env.run() is None
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5.0)
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        ev = env.event()
+        env.timeout(1.0)
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            env.run(until=ev)
+
+    def test_horizon_beats_same_time_events(self, env):
+        hits = []
+        env.timeout(2.0).callbacks.append(lambda e: hits.append("late"))
+        env.run(until=2.0)
+        # The horizon is URGENT, so the 2.0 timeout must NOT have run.
+        assert hits == []
+        assert env.now == 2.0
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(3.5)
+        assert env.peek() == 3.5
+
+    def test_clock_monotonic(self, env):
+        stamps = []
+        for d in (5.0, 1.0, 3.0, 1.0):
+            env.timeout(d).callbacks.append(lambda e: stamps.append(env.now))
+        env.run()
+        assert stamps == sorted(stamps)
+
+    def test_negative_schedule_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-0.1)
+
+    def test_initial_time(self):
+        env = Environment(initial_time=100.0)
+        assert env.now == 100.0
+        env.timeout(1.0)
+        env.run()
+        assert env.now == 101.0

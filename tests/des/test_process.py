@@ -1,0 +1,215 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcess:
+    def test_simple_process_advances_time(self, env):
+        log = []
+
+        def proc():
+            yield env.timeout(1)
+            log.append(env.now)
+            yield env.timeout(2)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1, 3]
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "result"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "result"
+
+    def test_timeout_value_is_sent_into_generator(self, env):
+        def proc():
+            got = yield env.timeout(1, value="hello")
+            return got
+
+        p = env.process(proc())
+        assert env.run(until=p) == "hello"
+
+    def test_process_waits_on_process(self, env):
+        def child():
+            yield env.timeout(2)
+            return 99
+
+        def parent():
+            result = yield env.process(child())
+            return result * 2
+
+        p = env.process(parent())
+        assert env.run(until=p) == 198
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc():
+            yield 42
+
+        p = env.process(proc())
+        p.defuse()
+        env.run()
+        assert not p.ok
+        assert isinstance(p.value, RuntimeError)
+
+    def test_exception_propagates_to_waiter(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def outer():
+            try:
+                yield env.process(bad())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(outer())
+        assert env.run(until=p) == "caught inner"
+
+    def test_unhandled_process_exception_crashes_run(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("unhandled")
+
+        env.process(bad())
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_is_alive(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_already_processed_target_is_fed_immediately(self, env):
+        t = env.timeout(1, value="early")
+        env.run(until=2)
+
+        def proc():
+            v = yield t
+            return v
+
+        p = env.process(proc())
+        assert env.run(until=p) == "early"
+        assert env.now == 2  # no extra time passed
+
+    def test_active_process(self, env):
+        seen = []
+
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc())
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self, env):
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                log.append((env.now, i.cause))
+
+        def attacker(p):
+            yield env.timeout(3)
+            p.interrupt("stop it")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert log == [(3, "stop it")]
+
+    def test_interrupt_terminated_process_raises(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError, match="terminated"):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc():
+            env.active_process.interrupt()
+            yield env.timeout(1)
+
+        p = env.process(proc())
+        p.defuse()
+        env.run()
+        assert not p.ok
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim():
+            yield env.timeout(100)
+
+        def attacker(p):
+            yield env.timeout(1)
+            p.interrupt("bye")
+
+        v = env.process(victim())
+        v.defuse()
+        env.process(attacker(v))
+        env.run()
+        assert not v.ok
+        assert isinstance(v.value, Interrupt)
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(5)
+            log.append(env.now)
+
+        def attacker(p):
+            yield env.timeout(2)
+            p.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert log == [7]
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self, env):
+        """The original timeout firing later must not resume the process."""
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(10)
+                log.append("timeout fired in process")
+            except Interrupt:
+                log.append("interrupted")
+            yield env.timeout(100)
+            log.append("end")
+
+        def attacker(p):
+            yield env.timeout(1)
+            p.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert log == ["interrupted", "end"]

@@ -1,0 +1,132 @@
+"""Unit tests for RNG registry and time-series monitors."""
+
+import numpy as np
+import pytest
+
+from repro.des import RngRegistry, SeriesBundle, TimeSeries
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_determinism_across_registries(self):
+        a = RngRegistry(42).stream("clients").random(5)
+        b = RngRegistry(42).stream("clients").random(5)
+        assert np.allclose(a, b)
+
+    def test_streams_are_independent(self):
+        reg1 = RngRegistry(42)
+        reg2 = RngRegistry(42)
+        # Drawing from an unrelated stream must not perturb 'clients'.
+        reg2.stream("jiffies").random(100)
+        a = reg1.stream("clients").random(5)
+        b = reg2.stream("clients").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(8)
+        b = RngRegistry(2).stream("x").random(8)
+        assert not np.allclose(a, b)
+
+    def test_contains(self):
+        reg = RngRegistry(0)
+        assert "x" not in reg
+        reg.stream("x")
+        assert "x" in reg
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(-1)
+
+
+class TestTimeSeries:
+    def test_record_and_stats(self):
+        ts = TimeSeries("cpu")
+        for t, v in [(0, 10), (1, 20), (2, 30)]:
+            ts.record(t, v)
+        assert len(ts) == 3
+        assert ts.mean() == 20
+        assert ts.max() == 30
+        assert ts.min() == 10
+
+    def test_time_must_be_nondecreasing(self):
+        ts = TimeSeries()
+        ts.record(5, 1)
+        with pytest.raises(ValueError):
+            ts.record(4, 1)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.record(5, 1)
+        ts.record(5, 2)
+        assert len(ts) == 2
+
+    def test_value_at_step_interpolation(self):
+        ts = TimeSeries()
+        ts.record(0, 100)
+        ts.record(10, 200)
+        assert ts.value_at(0) == 100
+        assert ts.value_at(9.99) == 100
+        assert ts.value_at(10) == 200
+        assert ts.value_at(50) == 200
+
+    def test_value_at_before_first_sample_raises(self):
+        ts = TimeSeries()
+        ts.record(5, 1)
+        with pytest.raises(ValueError):
+            ts.value_at(4)
+
+    def test_empty_series_stats_raise(self):
+        ts = TimeSeries()
+        for fn in (ts.mean, ts.max, ts.min):
+            with pytest.raises(ValueError):
+                fn()
+        with pytest.raises(ValueError):
+            ts.value_at(0)
+
+    def test_window(self):
+        ts = TimeSeries("w")
+        for t in range(10):
+            ts.record(t, t * t)
+        sub = ts.window(3, 6)
+        assert list(sub.times) == [3, 4, 5, 6]
+
+    def test_resample(self):
+        ts = TimeSeries()
+        ts.record(0, 1)
+        ts.record(10, 2)
+        assert list(ts.resample([0, 5, 10, 15])) == [1, 1, 2, 2]
+
+
+class TestSeriesBundle:
+    def test_record_creates_series(self):
+        b = SeriesBundle()
+        b.record("node1", 0, 50)
+        b.record("node2", 0, 70)
+        assert b.names() == ["node1", "node2"]
+        assert b["node1"].value_at(0) == 50
+        assert "node1" in b
+
+    def test_spread(self):
+        b = SeriesBundle()
+        b.record("n1", 0, 40)
+        b.record("n2", 0, 90)
+        assert b.spread_at(0) == 50
+
+    def test_spread_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeriesBundle().spread_at(0)
+
+    def test_common_window(self):
+        b = SeriesBundle()
+        b.record("n1", 0, 1)
+        b.record("n1", 10, 1)
+        b.record("n2", 2, 1)
+        b.record("n2", 8, 1)
+        assert b.common_window() == (2, 8)
+
+    def test_common_window_empty_raises(self):
+        with pytest.raises(ValueError):
+            SeriesBundle().common_window()

@@ -1,0 +1,71 @@
+"""Unit tests for the baseline location/selection policy alternatives."""
+
+import pytest
+
+from repro.des import RngRegistry
+from repro.middleware import (
+    LargestProcessSelectionPolicy,
+    LeastLoadedLocationPolicy,
+    LoadInfo,
+    PolicyConfig,
+    RandomLocationPolicy,
+)
+from repro.net import IPAddr
+
+
+def info(name, load):
+    octet = int(name.replace("node", ""))
+    return LoadInfo(name, IPAddr(f"192.168.0.{octet}"), load, 20, 0.0)
+
+
+class TestLeastLoadedLocation:
+    def test_orders_by_load(self):
+        p = LeastLoadedLocationPolicy(PolicyConfig(receiver_margin=2))
+        peers = [info("node2", 40), info("node3", 10), info("node4", 25)]
+        ranked = p.choose(90, 60, peers)
+        assert [r.node_name for r in ranked] == ["node3", "node4", "node2"]
+
+    def test_margin_respected(self):
+        p = LeastLoadedLocationPolicy(PolicyConfig(receiver_margin=5))
+        peers = [info("node2", 58)]
+        assert p.choose(90, 60, peers) == []
+
+
+class TestRandomLocation:
+    def test_only_below_average_candidates(self):
+        p = RandomLocationPolicy(
+            PolicyConfig(receiver_margin=2), RngRegistry(1).stream("x")
+        )
+        peers = [info("node2", 70), info("node3", 20), info("node4", 30)]
+        chosen = p.choose(90, 60, peers)
+        assert {c.node_name for c in chosen} == {"node3", "node4"}
+
+    def test_deterministic_given_stream(self):
+        a = RandomLocationPolicy(PolicyConfig(), RngRegistry(9).stream("x"))
+        b = RandomLocationPolicy(PolicyConfig(), RngRegistry(9).stream("x"))
+        peers = [info(f"node{i}", 10 + i) for i in range(2, 9)]
+        assert [c.node_name for c in a.choose(90, 60, peers)] == [
+            c.node_name for c in b.choose(90, 60, peers)
+        ]
+
+
+class TestLargestProcessSelection:
+    def make(self, shares):
+        class FakeProc:
+            def __init__(self, name):
+                self.name = name
+
+        return [(FakeProc(f"p{i}"), s) for i, s in enumerate(shares)]
+
+    def test_picks_biggest(self):
+        p = LargestProcessSelectionPolicy(PolicyConfig())
+        chosen = p.choose(10.0, self.make([5.0, 30.0, 12.0]))
+        assert chosen.name == "p1"  # ignores the target diff entirely
+
+    def test_min_share_still_applies(self):
+        p = LargestProcessSelectionPolicy(PolicyConfig(min_share=1.0))
+        assert p.choose(10.0, self.make([0.2, 0.4])) is None
+
+    def test_empty(self):
+        p = LargestProcessSelectionPolicy(PolicyConfig())
+        assert p.choose(10.0, []) is None

@@ -1,0 +1,59 @@
+"""Unit tests for addressing primitives."""
+
+import pytest
+
+from repro.net import Endpoint, FlowKey, IPAddr, PROTO_TCP
+
+
+class TestIPAddr:
+    def test_valid(self):
+        ip = IPAddr("192.168.0.1")
+        assert str(ip) == "192.168.0.1"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-1"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            IPAddr(bad)
+
+    def test_equality_and_hash(self):
+        assert IPAddr("10.0.0.1") == IPAddr("10.0.0.1")
+        assert hash(IPAddr("10.0.0.1")) == hash(IPAddr("10.0.0.1"))
+        assert IPAddr("10.0.0.1") != IPAddr("10.0.0.2")
+
+    def test_as_int(self):
+        assert IPAddr("0.0.0.1").as_int() == 1
+        assert IPAddr("1.0.0.0").as_int() == 1 << 24
+        assert IPAddr("255.255.255.255").as_int() == 0xFFFFFFFF
+
+
+class TestEndpoint:
+    def test_str(self):
+        ep = Endpoint(IPAddr("10.0.0.1"), 8080)
+        assert str(ep) == "10.0.0.1:8080"
+
+    @pytest.mark.parametrize("port", [0, -1, 65536])
+    def test_bad_port(self, port):
+        with pytest.raises(ValueError):
+            Endpoint(IPAddr("10.0.0.1"), port)
+
+
+class TestFlowKey:
+    def make(self):
+        local = Endpoint(IPAddr("203.0.113.10"), 27960)
+        remote = Endpoint(IPAddr("198.51.100.7"), 40000)
+        return FlowKey(PROTO_TCP, local, remote)
+
+    def test_capture_key_matches_paper_filter(self):
+        """The capture filter matches (remote IP, remote port, local port)."""
+        fk = self.make()
+        assert fk.capture_key() == (IPAddr("198.51.100.7"), 40000, 27960)
+
+    def test_reversed_round_trip(self):
+        fk = self.make()
+        assert fk.reversed().reversed() == fk
+        assert fk.reversed().local == fk.remote
+
+    def test_hashable(self):
+        assert self.make() in {self.make()}

@@ -1,0 +1,122 @@
+"""Unit tests for the link model: serialization, FIFO queueing, taps."""
+
+import pytest
+
+from repro.des import Environment
+from repro.net import IPAddr, Link, Packet, PROTO_UDP
+
+
+def udp(payload):
+    return Packet(
+        src_ip=IPAddr("10.0.0.1"),
+        dst_ip=IPAddr("10.0.0.2"),
+        proto=PROTO_UDP,
+        sport=1,
+        dport=2,
+        payload_size=payload,
+    )
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def wire(env, bw=1e9, lat=60e-6):
+    link = Link(env, bandwidth_bps=bw, latency=lat, name="test")
+    inbox0, inbox1 = [], []
+    link.attach(0, lambda p: inbox0.append((env.now, p)))
+    link.attach(1, lambda p: inbox1.append((env.now, p)))
+    return link, inbox0, inbox1
+
+
+class TestLink:
+    def test_delivery_time_is_tx_plus_latency(self, env):
+        link, _, inbox1 = wire(env, bw=1e9, lat=1e-3)
+        p = udp(972)  # 1000 bytes on wire
+        expected = 1000 * 8 / 1e9 + 1e-3
+        arrival = link.send(p, from_side=0)
+        assert arrival == pytest.approx(expected)
+        env.run()
+        assert len(inbox1) == 1
+        assert inbox1[0][0] == pytest.approx(expected)
+
+    def test_fifo_serialization(self, env):
+        """Two back-to-back packets: second waits for the first's tx."""
+        link, _, inbox1 = wire(env, bw=1e6, lat=0.0)  # slow link
+        a, b = udp(972), udp(972)  # 8 ms serialization each
+        link.send(a, 0)
+        link.send(b, 0)
+        env.run()
+        t_a, t_b = inbox1[0][0], inbox1[1][0]
+        assert t_a == pytest.approx(0.008)
+        assert t_b == pytest.approx(0.016)
+
+    def test_directions_independent(self, env):
+        link, inbox0, inbox1 = wire(env, bw=1e6, lat=0.0)
+        link.send(udp(972), 0)
+        link.send(udp(972), 1)
+        env.run()
+        # Full duplex: both arrive after one serialization time.
+        assert inbox0[0][0] == pytest.approx(0.008)
+        assert inbox1[0][0] == pytest.approx(0.008)
+
+    def test_idle_gap_resets_queue(self, env):
+        link, _, inbox1 = wire(env, bw=1e6, lat=0.0)
+        link.send(udp(972), 0)
+
+        def later():
+            yield env.timeout(1.0)
+            link.send(udp(972), 0)
+
+        env.process(later())
+        env.run()
+        assert inbox1[1][0] == pytest.approx(1.008)
+
+    def test_byte_and_packet_counters(self, env):
+        link, _, _ = wire(env)
+        p = udp(100)
+        link.send(p, 0)
+        assert link.bytes_sent[0] == p.size
+        assert link.packets_sent == [1, 0]
+
+    def test_tap_sees_tx_start_time(self, env):
+        link, _, _ = wire(env, bw=1e6, lat=0.5)
+        taps = []
+        link.add_tap(lambda t, p, s: taps.append((t, s)))
+        link.send(udp(972), 0)
+        link.send(udp(972), 0)
+        env.run()
+        assert taps[0] == (0.0, 0)
+        assert taps[1][0] == pytest.approx(0.008)
+
+    def test_unattached_side_raises(self, env):
+        link = Link(env)
+        link.attach(0, lambda p: None)
+        with pytest.raises(RuntimeError):
+            link.send(udp(10), 0)
+
+    def test_double_attach_raises(self, env):
+        link = Link(env)
+        link.attach(0, lambda p: None)
+        with pytest.raises(RuntimeError):
+            link.attach(0, lambda p: None)
+
+    def test_bad_side_raises(self, env):
+        link = Link(env)
+        with pytest.raises(ValueError):
+            link.attach(2, lambda p: None)
+        with pytest.raises(ValueError):
+            link.send(udp(1), 5)
+
+    def test_invalid_params(self, env):
+        with pytest.raises(ValueError):
+            Link(env, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(env, latency=-1)
+
+    def test_queueing_delay(self, env):
+        link, _, _ = wire(env, bw=1e6, lat=0.0)
+        assert link.queueing_delay(0) == 0.0
+        link.send(udp(972), 0)
+        assert link.queueing_delay(0) == pytest.approx(0.008)

@@ -1,0 +1,46 @@
+"""Unit tests for the Fig. 4 scenario machinery."""
+
+import numpy as np
+import pytest
+
+from repro.openarena.scenario import Fig4Config, _burst_times
+
+
+class TestBurstTimes:
+    def test_collapses_per_client_packets(self):
+        # Three frames of 4 clients each, 50 ms apart, packets within
+        # a frame ~0.1 ms apart.
+        times = []
+        for frame in range(3):
+            for k in range(4):
+                times.append(frame * 0.05 + k * 1e-4)
+        bursts = _burst_times(np.asarray(times), frame_interval=0.05)
+        assert len(bursts) == 3
+        assert np.allclose(bursts, [0.0, 0.05, 0.10], atol=1e-3)
+
+    def test_empty(self):
+        assert len(_burst_times(np.asarray([]), 0.05)) == 0
+
+    def test_single_packet(self):
+        bursts = _burst_times(np.asarray([1.0]), 0.05)
+        assert list(bursts) == [1.0]
+
+    def test_unsorted_input(self):
+        bursts = _burst_times(np.asarray([0.10, 0.0, 0.05]), 0.05)
+        assert len(bursts) == 3
+
+    def test_gap_larger_than_frame_still_one_burst_each(self):
+        bursts = _burst_times(np.asarray([0.0, 0.5]), 0.05)
+        assert len(bursts) == 2
+
+
+class TestFig4Config:
+    def test_defaults_match_paper(self):
+        cfg = Fig4Config()
+        assert cfg.n_clients == 24
+        assert cfg.server.update_hz == 20.0
+        assert len(cfg.phase_sweep) >= 2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Fig4Config().n_clients = 5

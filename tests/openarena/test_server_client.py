@@ -1,0 +1,117 @@
+"""Tests for the OpenArena-like game server and client bots."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.net import Endpoint
+from repro.openarena import GameClient, GameServerConfig, OpenArenaServer, join_clients
+from repro.testing import run_for
+
+
+@pytest.fixture
+def game():
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    server = OpenArenaServer(cluster.nodes[0])
+    server.start()
+    return cluster, server
+
+
+def server_ep(cluster):
+    return Endpoint(cluster.public_ip, 27960)
+
+
+class TestServer:
+    def test_client_connect_flow(self, game):
+        cluster, server = game
+        bots = join_clients(cluster, server_ep(cluster), 3)
+        run_for(cluster, 1.0)
+        assert server.n_clients == 3
+        assert all(b.stats.connected_at is not None for b in bots)
+
+    def test_update_rate_is_20hz(self, game):
+        cluster, server = game
+        bots = join_clients(cluster, server_ep(cluster), 1, record_times=True)
+        run_for(cluster, 3.0)
+        times = bots[0].stats.snapshot_times
+        assert len(times) >= 40
+        import numpy as np
+
+        gaps = np.diff(times)
+        assert np.median(gaps) == pytest.approx(0.05, rel=0.05)
+
+    def test_snapshots_sent_to_every_client(self, game):
+        cluster, server = game
+        bots = join_clients(cluster, server_ep(cluster), 5)
+        run_for(cluster, 2.0)
+        for bot in bots:
+            assert bot.stats.snapshots_received > 20
+
+    def test_inputs_are_consumed(self, game):
+        cluster, server = game
+        bots = join_clients(cluster, server_ep(cluster), 2)
+        run_for(cluster, 2.0)
+        assert server.inputs_processed > 50
+        assert not server._pending_inputs or len(server._pending_inputs) < 10
+
+    def test_cpu_demand_tracks_clients(self, game):
+        cluster, server = game
+        join_clients(cluster, server_ep(cluster), 4)
+        run_for(cluster, 1.0)
+        cfg = server.config
+        expected = cfg.cpu_base + 4 * cfg.cpu_per_client
+        assert server.proc.cpu_demand == pytest.approx(expected)
+
+    def test_disconnect(self, game):
+        cluster, server = game
+        bot = GameClient(cluster, server_ep(cluster))
+        bot.start()
+        run_for(cluster, 0.5)
+        assert server.n_clients == 1
+        bot.socket.sendto(("disconnect",), 32, server_ep(cluster))
+        run_for(cluster, 0.5)
+        assert server.n_clients == 0
+
+    def test_memory_dirtied_continuously(self, game):
+        cluster, server = game
+        join_clients(cluster, server_ep(cluster), 4)
+        run_for(cluster, 1.0)
+        space = server.proc.address_space
+        before = space.dirty_count()
+        space.clear_dirty()
+        run_for(cluster, 0.02)  # less than half a frame
+        assert space.dirty_count() > 0  # writes spread across the frame
+
+    def test_double_start_rejected(self, game):
+        _, server = game
+        with pytest.raises(RuntimeError):
+            server.start()
+
+
+class TestFig4Scenario:
+    def test_full_experiment_shape(self):
+        """The headline Section VI-B numbers, at reduced warmup."""
+        from repro.openarena import Fig4Config, run_openarena_migration
+
+        cfg = Fig4Config(warmup=1.5, cooldown=1.5, phase_sweep=(0.0,))
+        res = run_openarena_migration(cfg)
+        assert res.report.success
+        # 20 updates/s regular cadence.
+        assert res.regular_interval == pytest.approx(0.05, rel=0.05)
+        # Server downtime in the paper's ballpark (~20 ms).
+        assert 0.010 < res.report.freeze_time < 0.035
+        # Transparent: no snapshot ever lost.
+        assert res.snapshots_lost == 0
+        # The gap never exceeds one frame + freeze + restore slack.
+        assert res.migration_gap < 0.05 + res.report.freeze_time + 0.02
+
+    def test_timeline_rows(self):
+        from repro.openarena import Fig4Config, run_openarena_migration
+
+        cfg = Fig4Config(warmup=1.0, cooldown=1.0, phase_sweep=(0.0,))
+        res = run_openarena_migration(cfg)
+        rows = res.timeline()
+        assert rows
+        nodes = {node for _t, _i, node in rows}
+        assert nodes == {"source", "destination"}
+        times = [t for t, _i, _n in rows]
+        assert times == sorted(times)

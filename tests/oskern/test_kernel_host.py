@@ -1,0 +1,124 @@
+"""Unit tests for Kernel routing/process management and Host wiring."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.des import Environment
+from repro.net import IPAddr, Interface, PUBLIC
+from repro.oskern import Host
+
+
+class TestKernelRouting:
+    def test_local_prefix_routes_local(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        kernel = cluster.nodes[0].kernel
+        iface = kernel.route(IPAddr("192.168.0.2"))
+        assert iface is kernel.local_iface
+
+    def test_public_default(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        kernel = cluster.nodes[0].kernel
+        iface = kernel.route(IPAddr("198.51.100.5"))
+        assert iface is kernel.public_iface
+
+    def test_local_only_host_falls_back_to_local(self):
+        env = Environment()
+        host = Host(env, "db", local_ip=IPAddr("192.168.0.200"))
+        iface = host.kernel.route(IPAddr("10.9.9.9"))
+        assert iface is host.kernel.local_iface
+
+    def test_public_only_host(self):
+        env = Environment()
+        host = Host(env, "client", public_ip=IPAddr("198.51.100.1"))
+        assert host.kernel.route(IPAddr("203.0.113.10")) is host.kernel.public_iface
+        with pytest.raises(RuntimeError):
+            host.kernel.local_ip
+
+    def test_no_interfaces_rejected(self):
+        with pytest.raises(ValueError):
+            Host(Environment(), "ghost")
+
+    def test_double_attach_rejected(self):
+        env = Environment()
+        host = Host(env, "n", public_ip=IPAddr("1.2.3.4"))
+        with pytest.raises(RuntimeError):
+            host.kernel.attach_public(Interface(IPAddr("1.2.3.5"), PUBLIC))
+
+
+class TestKernelProcesses:
+    def test_adopt_moves_ownership(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        k1, k2 = (n.kernel for n in cluster.nodes)
+        proc = k1.spawn_process("p")
+        k1.cpu.set_demand(proc, 0.5)
+        k1.remove_process(proc)
+        k2.adopt_process(proc)
+        assert proc.kernel is k2
+        assert k2.process_by_pid(proc.pid) is proc
+        assert k2.cpu.demand_of(proc) == 0.5
+        with pytest.raises(ValueError):
+            k1.process_by_pid(proc.pid)
+
+
+class TestClusterBuilder:
+    def test_default_testbed_shape(self):
+        cluster = build_cluster()
+        # Section VI-A: five DVE server nodes and a MySQL DB server.
+        assert len(cluster.nodes) == 5
+        assert cluster.db is not None
+        assert all(n.public_ip == cluster.public_ip for n in cluster.nodes)
+        ips = {n.local_ip for n in cluster.nodes}
+        assert len(ips) == 5
+
+    def test_jiffies_offsets_differ(self):
+        cluster = build_cluster()
+        offsets = {n.kernel.jiffies.boot_offset for n in cluster.nodes}
+        assert len(offsets) > 1
+
+    def test_lookup_helpers(self):
+        cluster = build_cluster(n_nodes=3, with_db=False)
+        assert cluster.node_by_name("node2") is cluster.nodes[1]
+        assert cluster.node_by_local_ip(cluster.nodes[2].local_ip) is cluster.nodes[2]
+        with pytest.raises(KeyError):
+            cluster.node_by_name("node9")
+        with pytest.raises(KeyError):
+            cluster.node_by_local_ip(IPAddr("10.0.0.1"))
+
+    def test_client_ips_unique_and_valid(self):
+        cluster = build_cluster(n_nodes=1, with_db=False)
+        ips = {cluster.client_ip(i) for i in range(0, 2500, 13)}
+        assert len(ips) == len(range(0, 2500, 13))
+        with pytest.raises(ValueError):
+            cluster.client_ip(40_000)
+
+    def test_all_hosts(self):
+        cluster = build_cluster(n_nodes=2, with_db=True)
+        cluster.add_client()
+        hosts = cluster.all_hosts()
+        assert len(hosts) == 4  # 2 nodes + client + db
+
+    def test_determinism_of_build(self):
+        a = build_cluster(master_seed=5)
+        b = build_cluster(master_seed=5)
+        for na, nb in zip(a.nodes, b.nodes):
+            assert na.kernel.jiffies.boot_offset == nb.kernel.jiffies.boot_offset
+
+    def test_ephemeral_ranges_disjoint_across_nodes(self):
+        cluster = build_cluster(n_nodes=5, with_db=True)
+        ranges = []
+        hosts = list(cluster.nodes) + [cluster.db]
+        for host in hosts:
+            stack = host.kernel.stack
+            first = stack.alloc_ephemeral_port()
+            ranges.append((first, first + stack._ephemeral_span))
+        for i, (lo1, hi1) in enumerate(ranges):
+            for lo2, hi2 in ranges[i + 1:]:
+                assert hi1 <= lo2 or hi2 <= lo1, "ephemeral ranges overlap"
+
+    def test_ephemeral_ports_wrap_within_range(self):
+        cluster = build_cluster(n_nodes=1, with_db=False)
+        stack = cluster.nodes[0].kernel.stack
+        first = stack.alloc_ephemeral_port()
+        for _ in range(stack._ephemeral_span - 1):
+            stack.alloc_ephemeral_port()
+        assert stack.alloc_ephemeral_port() == first

@@ -1,0 +1,136 @@
+"""Unit tests for address spaces, VMAs and dirty-bit tracking."""
+
+import pytest
+
+from repro.oskern import AddressSpace, PAGE_SIZE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestMapping:
+    def test_mmap_creates_area(self, space):
+        area = space.mmap(10, tag="heap")
+        assert area.npages == 10
+        assert area.nbytes == 10 * PAGE_SIZE
+        assert space.total_pages == 10
+
+    def test_mmap_areas_do_not_overlap(self, space):
+        a = space.mmap(10)
+        b = space.mmap(10)
+        assert a.end <= b.start or b.end <= a.start
+
+    def test_empty_area_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.mmap(0)
+
+    def test_munmap(self, space):
+        a = space.mmap(5)
+        space.munmap(a)
+        assert space.total_pages == 0
+        with pytest.raises(ValueError):
+            space.munmap(a)
+
+    def test_find_vma(self, space):
+        a = space.mmap(5)
+        assert space.find_vma(a.start) is a
+        assert space.find_vma(a.end) is not a
+
+    def test_resize_grow_and_shrink(self, space):
+        a = space.mmap(5)
+        space.resize(a, 8)
+        assert a.npages == 8
+        # New pages are dirty (never transferred).
+        assert all(space.is_dirty(v) for v in range(a.start + 5, a.start + 8))
+        space.resize(a, 3)
+        assert a.npages == 3
+        with pytest.raises(KeyError):
+            space.page_version(a.start + 5)
+
+    def test_resize_overlap_rejected(self, space):
+        a = space.mmap(5)
+        space.mmap(5)  # neighbour
+        with pytest.raises(ValueError):
+            space.resize(a, 1000)
+
+    def test_resize_to_zero_rejected(self, space):
+        a = space.mmap(5)
+        with pytest.raises(ValueError):
+            space.resize(a, 0)
+
+
+class TestDirtyTracking:
+    def test_fresh_pages_are_dirty(self, space):
+        a = space.mmap(4)
+        assert space.dirty_count() == 4
+        assert space.dirty_pages() == list(a.pages())
+
+    def test_write_sets_dirty_and_bumps_version(self, space):
+        a = space.mmap(2)
+        space.clear_dirty()
+        v0 = space.page_version(a.start)
+        space.write_page(a.start)
+        assert space.is_dirty(a.start)
+        assert not space.is_dirty(a.start + 1)
+        assert space.page_version(a.start) == v0 + 1
+
+    def test_write_unmapped_page_faults(self, space):
+        with pytest.raises(ValueError, match="page fault"):
+            space.write_page(999999)
+
+    def test_clear_dirty_subset(self, space):
+        a = space.mmap(4)
+        space.clear_dirty([a.start, a.start + 1])
+        assert space.dirty_pages() == [a.start + 2, a.start + 3]
+
+    def test_write_range(self, space):
+        a = space.mmap(10)
+        space.clear_dirty()
+        space.write_range(a, count=3, offset=2)
+        assert space.dirty_pages() == [a.start + 2, a.start + 3, a.start + 4]
+
+    def test_write_range_bounds(self, space):
+        a = space.mmap(4)
+        with pytest.raises(ValueError):
+            space.write_range(a, count=5)
+        with pytest.raises(ValueError):
+            space.write_range(a, count=1, offset=-1)
+
+    def test_munmap_clears_dirty(self, space):
+        a = space.mmap(4)
+        space.munmap(a)
+        assert space.dirty_count() == 0
+
+
+class TestSnapshot:
+    def test_content_snapshot_round_trip(self, space):
+        a = space.mmap(3, tag="heap")
+        b = space.mmap(2, tag="stack")
+        space.write_page(a.start)
+        space.write_page(a.start)
+        snap_vmas = [(v.start, v.end, v.perms, v.tag) for v in space.vmas]
+        versions = space.content_snapshot()
+
+        dest = AddressSpace()
+        dest.load_snapshot(snap_vmas, versions)
+        assert dest.total_pages == 5
+        assert dest.page_version(a.start) == 2
+        assert dest.page_version(b.start) == 0
+        assert dest.dirty_count() == 0  # restored pages are clean
+
+    def test_load_snapshot_requires_empty(self, space):
+        space.mmap(1)
+        with pytest.raises(RuntimeError):
+            space.load_snapshot([], {})
+
+    def test_restored_space_can_mmap_more(self, space):
+        a = space.mmap(3)
+        dest = AddressSpace()
+        dest.load_snapshot(
+            [(v.start, v.end, v.perms, v.tag) for v in space.vmas],
+            space.content_snapshot(),
+        )
+        fresh = dest.mmap(2)
+        assert fresh.start >= a.end  # no overlap with restored areas

@@ -1,0 +1,88 @@
+"""Unit tests for netfilter hook chains."""
+
+import pytest
+
+from repro.net import IPAddr, Packet, PROTO_UDP
+from repro.oskern import (
+    NF_ACCEPT,
+    NF_DROP,
+    NF_INET_LOCAL_IN,
+    NF_INET_LOCAL_OUT,
+    NF_STOLEN,
+    NetfilterHooks,
+)
+
+
+def pkt():
+    return Packet(
+        src_ip=IPAddr("10.0.0.1"), dst_ip=IPAddr("10.0.0.2"),
+        proto=PROTO_UDP, sport=1, dport=2, payload_size=10,
+    )
+
+
+class TestNetfilterHooks:
+    def test_empty_chain_accepts(self):
+        nf = NetfilterHooks()
+        assert nf.run(NF_INET_LOCAL_IN, pkt()) == NF_ACCEPT
+
+    def test_drop_short_circuits(self):
+        nf = NetfilterHooks()
+        seen = []
+        nf.register(NF_INET_LOCAL_IN, lambda p: NF_DROP, priority=0)
+        nf.register(NF_INET_LOCAL_IN, lambda p: seen.append(p) or NF_ACCEPT, priority=1)
+        assert nf.run(NF_INET_LOCAL_IN, pkt()) == NF_DROP
+        assert seen == []
+
+    def test_stolen_verdict(self):
+        nf = NetfilterHooks()
+        stolen = []
+        nf.register(NF_INET_LOCAL_IN, lambda p: stolen.append(p) or NF_STOLEN)
+        assert nf.run(NF_INET_LOCAL_IN, pkt()) == NF_STOLEN
+        assert len(stolen) == 1
+
+    def test_priority_order(self):
+        nf = NetfilterHooks()
+        order = []
+        nf.register(NF_INET_LOCAL_IN, lambda p: order.append("b") or NF_ACCEPT, priority=10)
+        nf.register(NF_INET_LOCAL_IN, lambda p: order.append("a") or NF_ACCEPT, priority=-10)
+        nf.run(NF_INET_LOCAL_IN, pkt())
+        assert order == ["a", "b"]
+
+    def test_equal_priority_registration_order(self):
+        nf = NetfilterHooks()
+        order = []
+        nf.register(NF_INET_LOCAL_IN, lambda p: order.append(1) or NF_ACCEPT)
+        nf.register(NF_INET_LOCAL_IN, lambda p: order.append(2) or NF_ACCEPT)
+        nf.run(NF_INET_LOCAL_IN, pkt())
+        assert order == [1, 2]
+
+    def test_chains_are_independent(self):
+        nf = NetfilterHooks()
+        nf.register(NF_INET_LOCAL_IN, lambda p: NF_DROP)
+        assert nf.run(NF_INET_LOCAL_OUT, pkt()) == NF_ACCEPT
+
+    def test_unregister(self):
+        nf = NetfilterHooks()
+        hook = nf.register(NF_INET_LOCAL_IN, lambda p: NF_DROP)
+        nf.unregister(hook)
+        assert nf.run(NF_INET_LOCAL_IN, pkt()) == NF_ACCEPT
+        with pytest.raises(ValueError):
+            nf.unregister(hook)
+
+    def test_unknown_chain_rejected(self):
+        nf = NetfilterHooks()
+        with pytest.raises(ValueError):
+            nf.register("PREROUTING", lambda p: NF_ACCEPT)
+        with pytest.raises(ValueError):
+            nf.run("PREROUTING", pkt())
+
+    def test_bad_verdict_rejected(self):
+        nf = NetfilterHooks()
+        nf.register(NF_INET_LOCAL_IN, lambda p: "MAYBE")
+        with pytest.raises(ValueError, match="bad verdict"):
+            nf.run(NF_INET_LOCAL_IN, pkt())
+
+    def test_hooks_listing(self):
+        nf = NetfilterHooks()
+        nf.register(NF_INET_LOCAL_IN, lambda p: NF_ACCEPT, name="capture")
+        assert [h.name for h in nf.hooks(NF_INET_LOCAL_IN)] == ["capture"]

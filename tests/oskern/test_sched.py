@@ -1,0 +1,100 @@
+"""Unit tests for fluid CPU accounting."""
+
+import pytest
+
+from repro.des import Environment
+from repro.net import IPAddr
+from repro.oskern import Host
+
+
+@pytest.fixture
+def host():
+    env = Environment()
+    return Host(env, "n1", local_ip=IPAddr("192.168.0.1"), cores=2)
+
+
+def advance(env, dt):
+    env.run(until=env.now + dt)
+
+
+class TestCpuAccounting:
+    def test_utilization_from_demand(self, host):
+        cpu = host.kernel.cpu
+        p = host.kernel.spawn_process("p")
+        cpu.set_demand(p, 0.5)
+        assert cpu.utilization() == pytest.approx(25.0)  # 0.5 of 2 cores
+
+    def test_utilization_caps_at_100(self, host):
+        cpu = host.kernel.cpu
+        for i in range(5):
+            cpu.set_demand(host.kernel.spawn_process(f"p{i}"), 1.0)
+        assert cpu.utilization() == 100.0
+
+    def test_cpu_time_integrates(self, host):
+        env = host.env
+        cpu = host.kernel.cpu
+        p = host.kernel.spawn_process("p")
+        cpu.set_demand(p, 0.5)
+        advance(env, 10)
+        assert cpu.cpu_time_of(p) == pytest.approx(5.0)
+
+    def test_saturation_scales_grants(self, host):
+        env = host.env
+        cpu = host.kernel.cpu
+        a = host.kernel.spawn_process("a")
+        b = host.kernel.spawn_process("b")
+        cpu.set_demand(a, 3.0)
+        cpu.set_demand(b, 1.0)
+        advance(env, 4)
+        # total demand 4 on 2 cores -> scale 0.5
+        assert cpu.cpu_time_of(a) == pytest.approx(6.0)
+        assert cpu.cpu_time_of(b) == pytest.approx(2.0)
+
+    def test_demand_change_mid_flight(self, host):
+        env = host.env
+        cpu = host.kernel.cpu
+        p = host.kernel.spawn_process("p")
+        cpu.set_demand(p, 1.0)
+        advance(env, 2)
+        cpu.set_demand(p, 0.0)
+        advance(env, 5)
+        assert cpu.cpu_time_of(p) == pytest.approx(2.0)
+
+    def test_remove_stops_accrual(self, host):
+        env = host.env
+        cpu = host.kernel.cpu
+        p = host.kernel.spawn_process("p")
+        cpu.set_demand(p, 1.0)
+        advance(env, 1)
+        cpu.remove(p)
+        advance(env, 5)
+        assert cpu.cpu_time_of(p) == pytest.approx(1.0)
+        assert cpu.utilization() == 0.0
+
+    def test_adopt_preserves_declared_demand(self, host):
+        env = host.env
+        other = Host(env, "n2", local_ip=IPAddr("192.168.0.2"), cores=2)
+        p = other.kernel.spawn_process("p")
+        other.kernel.cpu.set_demand(p, 0.8)
+        other.kernel.cpu.remove(p)
+        host.kernel.cpu.adopt(p)
+        assert host.kernel.cpu.demand_of(p) == pytest.approx(0.8)
+
+    def test_cpu_share_of(self, host):
+        cpu = host.kernel.cpu
+        a = host.kernel.spawn_process("a")
+        cpu.set_demand(a, 1.0)
+        assert cpu.cpu_share_of(a) == pytest.approx(50.0)  # 1 of 2 cores
+
+    def test_cpu_share_under_saturation(self, host):
+        cpu = host.kernel.cpu
+        a = host.kernel.spawn_process("a")
+        b = host.kernel.spawn_process("b")
+        cpu.set_demand(a, 2.0)
+        cpu.set_demand(b, 2.0)
+        assert cpu.cpu_share_of(a) == pytest.approx(50.0)
+
+    def test_negative_demand_rejected(self, host):
+        p = host.kernel.spawn_process("p")
+        with pytest.raises(ValueError):
+            host.kernel.cpu.set_demand(p, -0.1)

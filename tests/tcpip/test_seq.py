@@ -1,0 +1,86 @@
+"""Property-based and unit tests for 32-bit sequence arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcpip import (
+    seq_add,
+    seq_between,
+    seq_geq,
+    seq_gt,
+    seq_leq,
+    seq_lt,
+    seq_sub,
+)
+from repro.tcpip.seq import SEQ_MOD
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+small = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+class TestUnit:
+    def test_add_wraps(self):
+        assert seq_add(SEQ_MOD - 1, 1) == 0
+        assert seq_add(SEQ_MOD - 1, 2) == 1
+
+    def test_add_negative(self):
+        assert seq_add(0, -1) == SEQ_MOD - 1
+
+    def test_sub_signed(self):
+        assert seq_sub(5, 3) == 2
+        assert seq_sub(3, 5) == -2
+        assert seq_sub(0, SEQ_MOD - 1) == 1  # wrap: 0 is "after" max
+
+    def test_comparisons_across_wrap(self):
+        a = SEQ_MOD - 10
+        b = 10
+        assert seq_lt(a, b)
+        assert seq_gt(b, a)
+        assert seq_leq(a, a)
+        assert seq_geq(a, a)
+
+    def test_between(self):
+        assert seq_between(5, 5, 10)
+        assert not seq_between(10, 5, 10)
+        assert seq_between(2, SEQ_MOD - 5, 10)  # window across wrap
+
+
+class TestProperties:
+    @given(seqs, small)
+    def test_add_then_sub_round_trips(self, a, n):
+        assert seq_sub(seq_add(a, n), a) == n
+
+    @given(seqs, small)
+    def test_lt_iff_positive_distance(self, a, n):
+        b = seq_add(a, n)
+        if n == 0:
+            assert not seq_lt(a, b) and not seq_gt(a, b)
+        else:
+            assert seq_lt(a, b)
+            assert seq_gt(b, a)
+
+    @given(seqs, seqs)
+    def test_trichotomy(self, a, b):
+        truths = [seq_lt(a, b), a == b or seq_sub(a, b) == 0, seq_gt(a, b)]
+        # Exactly one holds (distance of exactly 2**31 maps to lt by our
+        # signed convention, so gt and lt can't both be true).
+        assert sum(bool(t) for t in truths) == 1
+
+    @given(seqs, seqs)
+    def test_antisymmetry(self, a, b):
+        assert seq_sub(a, b) == -seq_sub(b, a) or seq_sub(a, b) == -(1 << 31)
+
+    @given(seqs, st.integers(min_value=0, max_value=65535))
+    def test_between_window(self, lo, w):
+        hi = seq_add(lo, w)
+        for offset in (0, w // 2, max(0, w - 1)):
+            s = seq_add(lo, offset)
+            if w == 0:
+                assert not seq_between(s, lo, hi)
+            else:
+                assert seq_between(s, lo, hi)
+        assert not seq_between(hi, lo, hi)
+
+    @given(seqs)
+    def test_results_in_range(self, a):
+        assert 0 <= seq_add(a, 123456) < SEQ_MOD
+        assert -(1 << 31) <= seq_sub(a, 42) < (1 << 31)

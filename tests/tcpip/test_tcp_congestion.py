@@ -1,0 +1,78 @@
+"""Congestion-control bookkeeping tests (tracked + migrated state)."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.tcpip import MSS
+from repro.testing import establish_clients, run_for
+
+
+@pytest.fixture
+def pair():
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    _, children, clients = establish_clients(
+        cluster, cluster.nodes[0], None, 27960, 1
+    )
+    return cluster, children[0], clients[0]
+
+
+class TestCongestionState:
+    def test_slow_start_growth_on_acks(self, pair):
+        cluster, server, client = pair
+        cwnd0 = client.cwnd
+        for _ in range(5):
+            client.send("x", 64)
+            run_for(cluster, 0.1)
+        assert client.cwnd >= cwnd0 + 5 * MSS  # one MSS per new ack
+
+    def test_rto_collapses_window(self, pair):
+        cluster, server, client = pair
+        # Grow the window first.
+        for _ in range(5):
+            client.send("x", 64)
+            run_for(cluster, 0.1)
+        grown = client.cwnd
+        # Make the server disappear: data now times out.
+        cluster.nodes[0].stack.tables.ehash_remove(server.flow_key)
+        client.send("lost", 64)
+        run_for(cluster, 1.5)
+        assert client.retransmit_count >= 1
+        assert client.cwnd == MSS  # collapsed on loss
+        assert client.ssthresh <= max(2 * MSS, grown // 2)
+
+    def test_rto_backoff_doubles(self, pair):
+        cluster, server, client = pair
+        client.send("seed", 64)
+        run_for(cluster, 0.3)
+        base_rto = client.rto
+        cluster.nodes[0].stack.tables.ehash_remove(server.flow_key)
+        client.send("lost", 64)
+        run_for(cluster, 2.0)
+        assert client.retransmit_count >= 2
+        assert client.rto >= base_rto * 4  # doubled at least twice
+
+    def test_congestion_vars_migrate(self, pair):
+        from repro.core import (
+            SocketStaging,
+            disable_socket,
+            restore_sockets,
+            subtract_tcp_socket,
+        )
+
+        cluster, server, client = pair
+        for _ in range(3):
+            client.send("x", 64)
+            run_for(cluster, 0.1)
+        server.cwnd, server.ssthresh = 12345, 54321  # distinctive values
+        rec = subtract_tcp_socket(server, fd=1, costs=cluster.config.cost_model)
+        disable_socket(server)
+        staging = SocketStaging()
+        staging.apply(rec)
+        other = cluster.nodes[1]
+        restored = restore_sockets(
+            other.stack, other.kernel.spawn_process("p"), staging, 0
+        )[0]
+        assert restored.cwnd == 12345
+        assert restored.ssthresh == 54321
+        assert restored.srtt == server.srtt
+        assert restored.rto == server.rto

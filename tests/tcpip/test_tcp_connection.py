@@ -1,0 +1,216 @@
+"""End-to-end TCP tests over the broadcast cluster."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.net import Endpoint
+from repro.tcpip import EOF, MSS, TCPState
+from repro.testing import establish_clients, run_for
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(n_nodes=2, with_db=False)
+
+
+class TestHandshake:
+    def test_connect_accept(self, cluster):
+        listener, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        server_sock, client_sock = children[0], clients[0]
+        assert server_sock.state == TCPState.ESTABLISHED
+        assert client_sock.state == TCPState.ESTABLISHED
+        assert server_sock.local.ip == cluster.public_ip
+        assert server_sock.remote == client_sock.local
+        assert client_sock.remote == server_sock.local
+
+    def test_multiple_clients(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=8
+        )
+        assert len(children) == 8
+        flows = {c.flow_key for c in children}
+        assert len(flows) == 8
+
+    def test_only_owning_node_answers(self, cluster):
+        """The broadcast reaches both nodes but only one has the listener."""
+        establish_clients(cluster, cluster.nodes[0], None, 27960, n_clients=1)
+        other = cluster.nodes[1]
+        assert other.stack.ip.no_socket_drops > 0
+        assert len(other.stack.tables.ehash) == 0
+
+    def test_sockets_registered_in_ehash(self, cluster):
+        _, children, _ = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=2
+        )
+        tables = cluster.nodes[0].stack.tables
+        for child in children:
+            assert tables.ehash_lookup(child.flow_key) is child
+
+
+class TestDataTransfer:
+    def test_client_to_server(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        received = []
+
+        def reader():
+            skb = yield children[0].recv()
+            received.append(skb.payload)
+
+        cluster.env.process(reader())
+        clients[0].send("hello", size=128)
+        run_for(cluster, 0.5)
+        assert received == ["hello"]
+        assert children[0].bytes_received == 128
+
+    def test_server_to_client(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        received = []
+
+        def reader():
+            skb = yield clients[0].recv()
+            received.append(skb.payload)
+
+        cluster.env.process(reader())
+        children[0].send("update", size=256)
+        run_for(cluster, 0.5)
+        assert received == ["update"]
+
+    def test_in_order_stream(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        received = []
+
+        def reader():
+            for _ in range(10):
+                skb = yield children[0].recv()
+                received.append(skb.payload)
+
+        cluster.env.process(reader())
+        for i in range(10):
+            clients[0].send(i, size=64)
+        run_for(cluster, 0.5)
+        assert received == list(range(10))
+
+    def test_large_send_is_segmented(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        total = []
+
+        def reader():
+            while sum(total) < 4 * MSS:
+                skb = yield children[0].recv()
+                total.append(skb.size)
+
+        cluster.env.process(reader())
+        clients[0].send("bulk", size=4 * MSS)
+        run_for(cluster, 0.5)
+        assert sum(total) == 4 * MSS
+        assert len(total) == 4
+
+    def test_ack_clears_write_queue(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        clients[0].send("x", size=100)
+        run_for(cluster, 0.5)
+        assert len(clients[0].write_queue) == 0
+        assert clients[0].snd_una == clients[0].snd_nxt
+
+    def test_rtt_estimation(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        for _ in range(20):
+            clients[0].send("m", size=64)
+            run_for(cluster, 0.1)
+        assert clients[0].rtt_samples > 0
+        assert clients[0].srtt is not None
+        # One-way client latency is 5ms -> RTT ~10ms, jiffies resolution 10ms.
+        assert 0 <= clients[0].srtt < 0.1
+
+    def test_no_checksum_drops_in_healthy_run(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=4
+        )
+        for c in clients:
+            c.send("x", size=64)
+        run_for(cluster, 0.5)
+        for node in cluster.nodes:
+            assert node.stack.ip.checksum_drops == 0
+
+
+class TestClose:
+    def test_full_close_sequence(self, cluster):
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        server, client = children[0], clients[0]
+        eof_seen = []
+
+        def server_reader():
+            skb = yield server.recv()
+            if skb.payload is EOF:
+                eof_seen.append(True)
+                server.close()
+
+        cluster.env.process(server_reader())
+        client.close()
+        run_for(cluster, 2.0)
+        assert eof_seen == [True]
+        assert client.state == TCPState.CLOSED
+        assert server.state == TCPState.CLOSED
+        # Both unhashed.
+        assert len(cluster.nodes[0].stack.tables.ehash) == 0
+
+    def test_listener_close_unbinds(self, cluster):
+        node = cluster.nodes[0]
+        listener = node.stack.tcp_socket()
+        listener.bind(27960, ip=node.public_ip)
+        listener.listen()
+        assert node.stack.tables.bhash_lookup(node.public_ip, 27960) is listener
+        listener.close()
+        assert node.stack.tables.bhash_lookup(node.public_ip, 27960) is None
+
+
+class TestRetransmission:
+    def test_data_lost_to_void_is_retransmitted(self, cluster):
+        """Data sent to a node that silently drops it (no socket) is
+        retransmitted by RTO — the failure mode migration must mask."""
+        _, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 27960, n_clients=1
+        )
+        server = children[0]
+        # Simulate the socket disappearing (unhash without capture).
+        cluster.nodes[0].stack.tables.ehash_remove(server.flow_key)
+        clients[0].send("lost", size=64)
+        run_for(cluster, 0.15)
+        assert clients[0].retransmit_count == 0  # RTO (200ms) not yet fired
+        # Rehash the socket: the RTO retransmission must deliver.
+        cluster.nodes[0].stack.tables.ehash_insert(server.flow_key, server)
+        got = []
+
+        def reader():
+            skb = yield server.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+        run_for(cluster, 1.0)
+        assert clients[0].retransmit_count >= 1
+        assert got == ["lost"]
+
+    def test_syn_retransmitted_when_no_listener(self, cluster):
+        client = cluster.add_client()
+        csock = client.stack.tcp_socket()
+        csock.connect(Endpoint(cluster.public_ip, 12345))
+        run_for(cluster, 1.0)
+        assert csock.state == TCPState.SYN_SENT
+        # SYN retries escalate the RTO.
+        assert csock.rto > 0.2

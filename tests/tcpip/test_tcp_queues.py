@@ -1,0 +1,177 @@
+"""TCP queue semantics: backlog under lock, prequeue fast path,
+out-of-order assembly, PAWS timestamp checks."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.testing import establish_clients, run_for
+
+
+@pytest.fixture
+def pair():
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    _, children, clients = establish_clients(
+        cluster, cluster.nodes[0], None, 27960, n_clients=1
+    )
+    return cluster, children[0], clients[0]
+
+
+class TestBacklog:
+    def test_locked_socket_queues_to_backlog(self, pair):
+        cluster, server, client = pair
+        server.lock_user()
+        client.send("while-locked", size=64)
+        run_for(cluster, 0.05)
+        assert len(server.backlog) == 1
+        assert server.backlog_hits == 1
+        assert len(server.receive_queue) == 0
+
+    def test_unlock_processes_backlog(self, pair):
+        cluster, server, client = pair
+        server.lock_user()
+        client.send("a", size=64)
+        client.send("b", size=64)
+        run_for(cluster, 0.05)
+        server.unlock_user()
+        assert len(server.backlog) == 0
+        assert len(server.receive_queue) == 2
+
+    def test_force_userspace_empties_backlog_and_prequeue(self, pair):
+        """The signal-based checkpoint invariant (Section V-C.1)."""
+        cluster, server, client = pair
+        server.lock_user()
+        client.send("x", size=64)
+        run_for(cluster, 0.05)
+        assert len(server.backlog) == 1
+        server.force_userspace()
+        assert len(server.backlog) == 0
+        assert len(server.prequeue) == 0
+        assert not server.locked
+
+    def test_double_lock_rejected(self, pair):
+        _, server, _ = pair
+        server.lock_user()
+        with pytest.raises(RuntimeError):
+            server.lock_user()
+
+    def test_unlock_unlocked_rejected(self, pair):
+        _, server, _ = pair
+        with pytest.raises(RuntimeError):
+            server.unlock_user()
+
+
+class TestPrequeue:
+    def test_blocked_reader_routes_via_prequeue(self, pair):
+        cluster, server, client = pair
+        got = []
+
+        def reader():
+            skb = yield server.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+        run_for(cluster, 0.01)  # reader is now blocked
+        client.send("fast-path", size=64)
+        run_for(cluster, 0.1)
+        assert got == ["fast-path"]
+        assert server.prequeue_hits == 1
+        assert len(server.prequeue) == 0  # drained in process context
+
+    def test_no_reader_means_no_prequeue(self, pair):
+        cluster, server, client = pair
+        client.send("slow-path", size=64)
+        run_for(cluster, 0.1)
+        assert server.prequeue_hits == 0
+        assert len(server.receive_queue) == 1
+
+    def test_prequeue_disabled(self, pair):
+        cluster, server, client = pair
+        server.prequeue_enabled = False
+        got = []
+
+        def reader():
+            skb = yield server.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(reader())
+        run_for(cluster, 0.01)
+        client.send("direct", size=64)
+        run_for(cluster, 0.1)
+        assert got == ["direct"]
+        assert server.prequeue_hits == 0
+
+
+class TestOutOfOrder:
+    def test_reordered_segments_assemble(self, pair):
+        """Inject artificial reordering by delaying one segment."""
+        cluster, server, client = pair
+        # Send two segments; drop the first at the server by pre-locking,
+        # then deliver them in reverse via direct queue manipulation is
+        # fragile — instead use seq-space: send s1, remove it from flight
+        # by capturing via lock, then send s2, unlock.
+        server.lock_user()
+        client.send("one", size=64)
+        client.send("two", size=64)
+        run_for(cluster, 0.05)
+        # Reverse the backlog to simulate reordering on the wire.
+        server.backlog.reverse()
+        server.unlock_user()
+        received = [skb.payload for skb in server.receive_queue]
+        assert received == ["one", "two"]  # reassembled in order
+        assert len(server.ooo_queue) == 0
+
+    def test_gap_parks_segment_in_ooo(self, pair):
+        cluster, server, client = pair
+        server.lock_user()
+        client.send("first", size=64)
+        client.send("second", size=64)
+        run_for(cluster, 0.05)
+        # Drop the first segment entirely; deliver only the second.
+        dropped = server.backlog.pop(0)
+        server.unlock_user()
+        assert len(server.ooo_queue) == 1
+        assert len(server.receive_queue) == 0
+        # Retransmission of the first (or our manual replay) fills the gap.
+        server.segment_arrives(dropped)
+        assert len(server.ooo_queue) == 0
+        assert [s.payload for s in server.receive_queue] == ["first", "second"]
+
+    def test_duplicate_data_reacked_not_duplicated(self, pair):
+        cluster, server, client = pair
+        server.lock_user()
+        client.send("dup", size=64)
+        run_for(cluster, 0.05)
+        pkt = server.backlog[0]
+        server.unlock_user()
+        before = len(server.receive_queue)
+        server.segment_arrives(pkt.copy())  # replay the same segment
+        assert len(server.receive_queue) == before
+
+
+class TestPAWS:
+    def test_regressed_timestamp_dropped(self, pair):
+        cluster, server, client = pair
+        client.send("t1", size=64)
+        run_for(cluster, 0.5)
+        # Craft a replay whose ts_val is older than ts_recent.
+        server.lock_user()
+        client.send("t2", size=64)
+        run_for(cluster, 0.05)
+        pkt = server.backlog.pop(0)
+        server.unlock_user()
+        pkt.tcp.ts_val = server.ts_recent - 50
+        pkt.seal()
+        drops_before = server.paws_drops
+        server.segment_arrives(pkt)
+        assert server.paws_drops == drops_before + 1
+        assert all(s.payload != "t2" for s in server.receive_queue)
+
+    def test_ts_recent_advances(self, pair):
+        cluster, server, client = pair
+        client.send("a", size=64)
+        run_for(cluster, 0.3)
+        first = server.ts_recent
+        run_for(cluster, 0.3)
+        client.send("b", size=64)
+        run_for(cluster, 0.3)
+        assert server.ts_recent > first

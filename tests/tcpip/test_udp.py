@@ -1,0 +1,114 @@
+"""UDP socket tests over the broadcast cluster."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.net import Endpoint
+from repro.testing import run_for
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(n_nodes=2, with_db=False)
+
+
+def make_server(cluster, port=27960, node=0):
+    srv = cluster.nodes[node].stack.udp_socket()
+    srv.bind(port, ip=cluster.nodes[node].public_ip)
+    return srv
+
+
+class TestUDP:
+    def test_client_datagram_reaches_server(self, cluster):
+        srv = make_server(cluster)
+        client = cluster.add_client()
+        csock = client.stack.udp_socket()
+        got = []
+
+        def reader():
+            skb = yield srv.recv()
+            got.append((skb.payload, skb.src))
+
+        cluster.env.process(reader())
+        csock.sendto("join", 64, Endpoint(cluster.public_ip, 27960))
+        run_for(cluster, 0.1)
+        assert len(got) == 1
+        assert got[0][0] == "join"
+        assert got[0][1].ip == client.public_ip
+
+    def test_server_reply_via_recvfrom_addr(self, cluster):
+        srv = make_server(cluster)
+        client = cluster.add_client()
+        csock = client.stack.udp_socket()
+        csock.bind(40000, ip=client.public_ip)
+        got = []
+
+        def server_loop():
+            skb = yield srv.recv()
+            srv.sendto("snapshot", 256, skb.src)
+
+        def client_loop():
+            skb = yield csock.recv()
+            got.append(skb.payload)
+
+        cluster.env.process(server_loop())
+        cluster.env.process(client_loop())
+        csock.sendto("input", 32, Endpoint(cluster.public_ip, 27960))
+        run_for(cluster, 0.2)
+        assert got == ["snapshot"]
+
+    def test_broadcast_does_not_duplicate_delivery(self, cluster):
+        """Both nodes see the packet; only the binder receives it."""
+        srv = make_server(cluster, node=0)
+        client = cluster.add_client()
+        csock = client.stack.udp_socket()
+        csock.sendto("x", 32, Endpoint(cluster.public_ip, 27960))
+        run_for(cluster, 0.1)
+        assert srv.datagrams_received == 1
+        assert cluster.nodes[1].stack.ip.no_socket_drops == 1
+
+    def test_connected_udp(self, cluster):
+        srv = make_server(cluster)
+        client = cluster.add_client()
+        csock = client.stack.udp_socket()
+        csock.connect(Endpoint(cluster.public_ip, 27960))
+        csock.send("via-connect", 64)
+        run_for(cluster, 0.1)
+        assert srv.datagrams_received == 1
+
+    def test_send_unconnected_raises(self, cluster):
+        csock = cluster.add_client().stack.udp_socket()
+        with pytest.raises(RuntimeError):
+            csock.send("x", 10)
+
+    def test_double_bind_rejected(self, cluster):
+        srv = make_server(cluster)
+        with pytest.raises(RuntimeError):
+            srv.bind(12345)
+
+    def test_port_collision_rejected(self, cluster):
+        make_server(cluster, port=5000)
+        other = cluster.nodes[0].stack.udp_socket()
+        with pytest.raises(ValueError):
+            other.bind(5000, ip=cluster.nodes[0].public_ip)
+
+    def test_close_unhashes(self, cluster):
+        srv = make_server(cluster, port=5000)
+        srv.close()
+        fresh = cluster.nodes[0].stack.udp_socket()
+        fresh.bind(5000, ip=cluster.nodes[0].public_ip)  # no collision now
+
+    def test_bad_size_rejected(self, cluster):
+        srv = make_server(cluster)
+        with pytest.raises(ValueError):
+            srv.sendto("x", 0, Endpoint(cluster.public_ip, 1))
+
+    def test_in_cluster_udp(self, cluster):
+        """UDP between nodes over the local switch."""
+        n1, n2 = cluster.nodes
+        srv = n2.stack.udp_socket()
+        srv.bind(7000, ip=n2.local_ip)
+        snd = n1.stack.udp_socket()
+        snd.sendto("local", 128, Endpoint(n2.local_ip, 7000))
+        run_for(cluster, 0.1)
+        assert srv.datagrams_received == 1

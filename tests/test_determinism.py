@@ -1,0 +1,59 @@
+"""Reproducibility guarantees: identical seeds replay identical
+experiments, different seeds genuinely differ.
+
+Every experiment harness relies on this — EXPERIMENTS.md quotes absolute
+numbers that must regenerate bit-identically on any machine.
+"""
+
+import pytest
+
+from repro.analysis.fig5bc import SweepConfig, _one_migration
+from repro.dve import DVEScenario, DVEScenarioConfig, MovementConfig, ZoneServerConfig
+
+
+def small_dve(seed):
+    cfg = DVEScenarioConfig(
+        n_clients=2000,
+        duration=90.0,
+        seed=seed,
+        load_balancing=True,
+        movement=MovementConfig(travel_time=60.0, mover_fraction=0.7),
+        zone_server=ZoneServerConfig(n_client_conns=1),
+        sample_interval=5.0,
+    )
+    return DVEScenario(cfg).run()
+
+
+class TestDeterminism:
+    def test_migration_replays_bit_identically(self):
+        a = _one_migration(SweepConfig(), 64, "incremental-collective", seed=7)
+        b = _one_migration(SweepConfig(), 64, "incremental-collective", seed=7)
+        assert a.freeze_time == b.freeze_time
+        assert a.total_time == b.total_time
+        assert a.bytes.total == b.bytes.total
+        assert a.precopy_rounds == b.precopy_rounds
+        assert a.packets_captured == b.packets_captured
+
+    def test_different_seed_differs(self):
+        a = _one_migration(SweepConfig(), 64, "incremental-collective", seed=7)
+        b = _one_migration(SweepConfig(), 64, "incremental-collective", seed=8)
+        # Jiffies offsets differ -> the timestamp delta must differ.
+        assert a.jiffies_delta != b.jiffies_delta
+
+    def test_dve_scenario_replays_identically(self):
+        a = small_dve(5)
+        b = small_dve(5)
+        assert a.final_loads() == b.final_loads()
+        assert a.final_proc_counts() == b.final_proc_counts()
+        assert len(a.migrations) == len(b.migrations)
+        for ea, eb in zip(a.migrations, b.migrations):
+            assert ea.time == eb.time
+            assert ea.process_name == eb.process_name
+            assert ea.destination == eb.destination
+        for name in a.cpu.names():
+            assert list(a.cpu[name].values) == list(b.cpu[name].values)
+
+    def test_dve_different_seed_differs(self):
+        a = small_dve(5)
+        b = small_dve(6)
+        assert a.final_zone_counts != b.final_zone_counts

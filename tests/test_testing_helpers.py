@@ -1,0 +1,57 @@
+"""Tests for the shared simulation-building helpers."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.testing import connect_local_tcp, establish_clients, run_for
+
+
+class TestEstablishClients:
+    def test_happy_path(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        listener, children, clients = establish_clients(
+            cluster, cluster.nodes[0], None, 5000, 3
+        )
+        assert len(children) == 3 and len(clients) == 3
+        assert listener.state == "LISTEN"
+
+    def test_incomplete_handshake_raises(self):
+        """An impossibly short settle window surfaces as a clear error
+        instead of silently returning half-connected state."""
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        with pytest.raises(RuntimeError, match="handshakes incomplete"):
+            establish_clients(cluster, cluster.nodes[0], None, 5000, 3, settle=0.001)
+
+    def test_port_collision_raises(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        establish_clients(cluster, cluster.nodes[0], None, 5000, 1)
+        with pytest.raises(ValueError):
+            establish_clients(cluster, cluster.nodes[0], None, 5000, 1)
+
+
+class TestConnectLocalTcp:
+    def test_happy_path(self):
+        cluster = build_cluster(n_nodes=2, with_db=True)
+        a, b = connect_local_tcp(
+            cluster, cluster.nodes[0], None, cluster.db, None, 3306
+        )
+        assert a.state == "ESTABLISHED" and b.state == "ESTABLISHED"
+        assert a.remote.ip == cluster.db.local_ip
+        # The temporary listener is cleaned up.
+        assert cluster.db.stack.tables.bhash_lookup(cluster.db.local_ip, 3306) is None
+
+    def test_timeout_raises(self):
+        cluster = build_cluster(n_nodes=2, with_db=True)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            connect_local_tcp(
+                cluster, cluster.nodes[0], None, cluster.db, None, 3306,
+                settle=1e-6,
+            )
+
+
+class TestRunFor:
+    def test_advances_exactly(self):
+        cluster = build_cluster(n_nodes=1, with_db=False)
+        t0 = cluster.env.now
+        run_for(cluster, 2.5)
+        assert cluster.env.now == pytest.approx(t0 + 2.5)
