@@ -78,6 +78,9 @@ def run():
 
 def test_ablation_capture_and_router(once):
     results = once(run)
+    # A failed migration has no freeze interval; it must never enter
+    # the comparison table as a bogus number.
+    assert all(r.success and r.freeze_time is not None for r, _ in results.values())
     rows = [
         (name, r.packets_captured, r.packets_reinjected, retr,
          r.freeze_time * 1e3)

@@ -74,6 +74,8 @@ def run():
 
 def test_ablation_signal_vs_kernel_initiated(once):
     results = once(run)
+    # Failed runs have freeze_time None and must not enter the table.
+    assert all(r.success and r.freeze_time is not None for r, *_ in results.values())
     rows = [
         (name, r.bytes.freeze_sockets, r.freeze_time * 1e3, delivered, retr)
         for name, (r, delivered, retr, _bl) in results.items()

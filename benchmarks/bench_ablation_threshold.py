@@ -52,6 +52,8 @@ def run():
 
 def test_ablation_precopy_threshold(once):
     reports = once(run)
+    # Failed runs have freeze_time None and must not enter the table.
+    assert all(r.success and r.freeze_time is not None for r in reports.values())
     rows = [
         (
             f"{t * 1e3:.0f} ms",

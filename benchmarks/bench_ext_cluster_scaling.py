@@ -6,7 +6,6 @@ same relative imbalance, heartbeat traffic, and migration counts at 4,
 8 and 12 nodes.
 """
 
-import json
 
 from repro.analysis import render_table
 from repro.cluster import build_cluster

@@ -7,10 +7,12 @@ no packet lost (fully transparent to clients).
 """
 
 from repro.analysis import render_fig4, run_fig4
+from repro.openarena import Fig4Config
 
 
-def test_fig4_openarena_packet_delay(once):
-    result = once(run_fig4)
+def test_fig4_openarena_packet_delay(once, trace_dir):
+    cfg = Fig4Config(trace_dir=trace_dir) if trace_dir else None
+    result = once(lambda: run_fig4(cfg))
     print()
     print(render_fig4(result))
 

@@ -7,13 +7,16 @@ Paper: iterative grows ~linearly with the transferred bytes (~180 ms at
 incremental collective stays under 40 ms even beyond 1000 connections.
 """
 
+from dataclasses import replace
+
 from repro.analysis import SweepConfig, render_fig5b, run_freeze_sweep
 
 CONFIG = SweepConfig(repetitions=2)
 
 
-def test_fig5b_freeze_time_sweep(once):
-    result = once(lambda: run_freeze_sweep(CONFIG))
+def test_fig5b_freeze_time_sweep(once, trace_dir):
+    config = replace(CONFIG, trace_dir=trace_dir) if trace_dir else CONFIG
+    result = once(lambda: run_freeze_sweep(config))
     print()
     print(render_fig5b(result))
 

@@ -7,13 +7,16 @@ order of magnitude less (~0.1–0.5 MB), because most socket structures do
 not change once the precopy loop timeout becomes short.
 """
 
+from dataclasses import replace
+
 from repro.analysis import SweepConfig, render_fig5c, run_freeze_sweep
 
 CONFIG = SweepConfig(repetitions=1)
 
 
-def test_fig5c_socket_bytes_sweep(once):
-    result = once(lambda: run_freeze_sweep(CONFIG))
+def test_fig5c_socket_bytes_sweep(once, trace_dir):
+    config = replace(CONFIG, trace_dir=trace_dir) if trace_dir else CONFIG
+    result = once(lambda: run_freeze_sweep(config))
     print()
     print(render_fig5c(result))
 

@@ -7,10 +7,8 @@ the substrate are visible independently of the experiment harnesses.
 
 from repro.cluster import build_cluster
 from repro.des import Environment
-from repro.net import Endpoint
 from repro.oskern import AddressSpace
-from repro.blcr import checkpoint_process
-from repro.testing import establish_clients, run_for
+from repro.testing import establish_clients
 
 
 def test_des_event_throughput(benchmark):

@@ -6,7 +6,23 @@ paper scale and prints the same rows/series the paper plots (run with
 paper reports — who wins, by roughly what factor, where crossovers fall.
 """
 
+import os
+from pathlib import Path
+from typing import Optional
+
 import pytest
+
+
+@pytest.fixture
+def trace_dir() -> Optional[Path]:
+    """Directory for JSONL trace artifacts, from ``REPRO_TRACE_DIR``.
+
+    Unset (the default) disables tracing, so benchmarks measure the
+    uninstrumented hot path.  Set it to let a figure harness emit
+    traces inspectable with ``repro-trace``.
+    """
+    value = os.environ.get("REPRO_TRACE_DIR")
+    return Path(value) if value else None
 
 
 def run_once(benchmark, fn):

@@ -7,7 +7,7 @@ can show the *shape*, not just sampled rows.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -20,10 +20,11 @@ def render_fig4(result: Fig4Result, timeline_window: float = 0.3) -> str:
     """The numbers the paper reports in Section VI-B, plus the packet
     timeline around the migration (the Fig. 4 scatter)."""
     r = result.report
+    ft = r.freeze_time
     summary = render_kv(
         {
             "regular update interval (ms)": result.regular_interval * 1e3,
-            "process freeze time (ms)": r.freeze_time * 1e3,
+            "process freeze time (ms)": ft * 1e3 if ft is not None else "n/a (failed)",
             "wire gap across migration (ms)": result.migration_gap * 1e3,
             "imposed delay vs expected (ms)": result.imposed_delay * 1e3,
             "snapshots lost": result.snapshots_lost,

@@ -10,6 +10,7 @@ session (Section VI-D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional, Sequence
 
 from ..cluster import Cluster, ClusterConfig
@@ -38,6 +39,9 @@ class SweepConfig:
     seed: int = 42
     with_mysql: bool = True
     migration: LiveMigrationConfig = field(default_factory=LiveMigrationConfig)
+    #: When set, each migration is traced and its event stream written
+    #: as ``trace_dir/fig5b_n{N}_{strategy}_rep{R}.jsonl``.
+    trace_dir: Optional[Path] = None
 
 
 @dataclass
@@ -70,10 +74,17 @@ class FreezeSweepResult:
         )
 
 
-def _one_migration(cfg: SweepConfig, n: int, strategy: str, seed: int) -> MigrationReport:
+def _one_migration(
+    cfg: SweepConfig,
+    n: int,
+    strategy: str,
+    seed: int,
+    trace_path: Optional[Path] = None,
+) -> MigrationReport:
     cluster = Cluster(
         ClusterConfig(n_nodes=2, with_db=cfg.with_mysql, master_seed=seed)
     )
+    tracer = cluster.env.enable_tracing() if trace_path is not None else None
     node = cluster.nodes[0]
     proc = node.kernel.spawn_process("zone_serv")
     area = proc.address_space.mmap(cfg.memory_pages, tag="world-state")
@@ -98,26 +109,52 @@ def _one_migration(cfg: SweepConfig, n: int, strategy: str, seed: int) -> Migrat
     ev = migrate_process(
         node, cluster.nodes[1], proc, cfg.migration.with_overrides(strategy=strategy)
     )
-    return cluster.env.run(until=ev)
+    report = cluster.env.run(until=ev)
+    if tracer is not None:
+        from ..obs import write_jsonl
+
+        write_jsonl(trace_path, tracer)
+    return report
 
 
 def run_freeze_sweep(config: Optional[SweepConfig] = None) -> FreezeSweepResult:
-    """The full Fig. 5b/5c parameter sweep."""
+    """The full Fig. 5b/5c parameter sweep.
+
+    Only *successful* migrations enter a point's aggregates: a failed
+    run has no completed freeze interval (``freeze_time is None``) and
+    would silently poison a worst-case plot.  A point where every
+    repetition failed raises rather than fabricating numbers.
+    """
     cfg = config or SweepConfig()
     points = []
     for n in cfg.conn_counts:
         for strategy in cfg.strategies:
-            reports = [
-                _one_migration(cfg, n, strategy, seed=cfg.seed + rep)
-                for rep in range(cfg.repetitions)
-            ]
-            worst = max(reports, key=lambda r: r.freeze_time)
+            reports = []
+            for rep in range(cfg.repetitions):
+                trace_path = (
+                    cfg.trace_dir / f"fig5b_n{n}_{strategy}_rep{rep}.jsonl"
+                    if cfg.trace_dir is not None
+                    else None
+                )
+                reports.append(
+                    _one_migration(
+                        cfg, n, strategy, seed=cfg.seed + rep, trace_path=trace_path
+                    )
+                )
+            ok = [r for r in reports if r.success and r.freeze_time is not None]
+            if not ok:
+                errors = "; ".join(sorted({r.error or "?" for r in reports}))
+                raise RuntimeError(
+                    f"fig5b sweep: all {len(reports)} repetitions failed "
+                    f"for n={n} strategy={strategy}: {errors}"
+                )
+            worst = max(ok, key=lambda r: r.freeze_time)
             points.append(
                 SweepPoint(
                     n_connections=n,
                     strategy=strategy,
                     freeze_time=worst.freeze_time,
-                    freeze_socket_bytes=max(r.bytes.freeze_sockets for r in reports),
+                    freeze_socket_bytes=max(r.bytes.freeze_sockets for r in ok),
                     precopy_socket_bytes=worst.bytes.precopy_sockets,
                     total_time=worst.total_time,
                     reports=reports,

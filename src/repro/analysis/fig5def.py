@@ -93,7 +93,7 @@ def render_fig5d(result: DVEResult) -> str:
     )
     rows = [
         (f"{e.time:.0f}s", e.process_name, e.source, e.destination,
-         f"{e.freeze_time * 1e3:.1f}")
+         f"{e.freeze_time * 1e3:.1f}" if e.freeze_time is not None else "-")
         for e in result.migrations
     ]
     out += "\n" + render_table(

@@ -50,17 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write CSV exports into",
     )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="enable migration tracing and write JSONL traces into this "
+        "directory (fig4, fig5b, fig5c; inspect with repro-trace)",
+    )
     return parser
 
 
 def _sweep_config(args):
     from .analysis import SweepConfig
 
+    trace_dir = getattr(args, "trace_dir", None)
     if args.quick:
         return SweepConfig(
-            conn_counts=(16, 64, 256), repetitions=1, seed=args.seed
+            conn_counts=(16, 64, 256), repetitions=1, seed=args.seed,
+            trace_dir=trace_dir,
         )
-    return SweepConfig(repetitions=2, seed=args.seed)
+    return SweepConfig(repetitions=2, seed=args.seed, trace_dir=trace_dir)
 
 
 def _dve_config(args):
@@ -90,9 +99,13 @@ def run_fig4_cmd(args) -> None:
     from .analysis import render_fig4, run_fig4
     from .openarena import Fig4Config
 
-    cfg = Fig4Config(seed=args.seed)
+    trace_dir = getattr(args, "trace_dir", None)
+    cfg = Fig4Config(seed=args.seed, trace_dir=trace_dir)
     if args.quick:
-        cfg = Fig4Config(seed=args.seed, warmup=1.5, cooldown=1.5, phase_sweep=(0.0, 0.5))
+        cfg = Fig4Config(
+            seed=args.seed, warmup=1.5, cooldown=1.5, phase_sweep=(0.0, 0.5),
+            trace_dir=trace_dir,
+        )
     result = run_fig4(cfg)
     print(render_fig4(result))
     if args.out:
@@ -101,6 +114,8 @@ def run_fig4_cmd(args) -> None:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "fig4_timeline.csv").write_text(fig4_to_csv(result))
         print(f"wrote {args.out / 'fig4_timeline.csv'}")
+    if trace_dir is not None:
+        print(f"wrote {trace_dir / 'fig4_worst.jsonl'}")
 
 
 def run_fig5bc_cmd(args, which: str) -> None:
@@ -117,6 +132,10 @@ def run_fig5bc_cmd(args, which: str) -> None:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "fig5bc_sweep.csv").write_text(sweep_to_csv(result))
         print(f"wrote {args.out / 'fig5bc_sweep.csv'}")
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is not None:
+        n_traces = len(list(trace_dir.glob("fig5b_*.jsonl")))
+        print(f"wrote {n_traces} traces under {trace_dir}")
 
 
 def run_fig5def_cmd(args, which: str) -> None:

@@ -63,6 +63,14 @@ class CaptureService:
         self._hook = None
         self.total_captured = 0
         self.total_reinjected = 0
+        metrics = host.env.metrics
+        if metrics is not None:
+            metrics.gauge(
+                f"capture.{host.name}.captured", fn=lambda: self.total_captured
+            )
+            metrics.gauge(
+                f"capture.{host.name}.reinjected", fn=lambda: self.total_reinjected
+            )
 
     # -- filter management ----------------------------------------------------
     def enable(self, keys: list[CaptureKey]) -> int:

@@ -97,6 +97,14 @@ class MigrationDaemon:
         self._inbound: dict[int, _Inbound] = {}
         self.migrations_completed = 0
         host.control.register(MIGD_PORT, self._handle)
+        metrics = host.env.metrics
+        if metrics is not None:
+            metrics.gauge(
+                f"migd.{host.name}.completed", fn=lambda: self.migrations_completed
+            )
+            metrics.gauge(
+                f"migd.{host.name}.inflight", fn=lambda: len(self._inbound)
+            )
 
     # -- protocol ------------------------------------------------------------
     def _handle(self, body: dict, src_ip, respond) -> None:
@@ -114,8 +122,18 @@ class MigrationDaemon:
             st.staged_pages.update(body.get("pages", {}))
             if body.get("vmas") is not None:
                 st.staged_vmas = body["vmas"]
-            st.sockets.apply_all(body.get("socket_records", []))
+            records = body.get("socket_records", [])
+            st.sockets.apply_all(records)
             st.rounds_received += 1
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "migd.stage",
+                    pid=body["pid"],
+                    phase="round",
+                    records=len(records),
+                    staged_pages=len(st.staged_pages),
+                )
             if respond:
                 respond({"ok": True})
         elif op == "capture":
@@ -123,6 +141,14 @@ class MigrationDaemon:
         elif op == "sockets":
             st = self._staging(body["pid"])
             st.sockets.apply_all(body["records"])
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "migd.stage",
+                    pid=body["pid"],
+                    phase="freeze",
+                    records=len(body["records"]),
+                )
             if respond:
                 respond({"ok": True})
         elif op == "freeze":
@@ -154,6 +180,9 @@ class MigrationDaemon:
         yield self.env.timeout(costs.capture_install_cost * max(1, len(keys)))
         self.capture.enable(keys)
         st.capture_keys.extend(keys)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event("migd.capture.enable", pid=body["pid"], keys=len(keys))
         if respond:
             respond({"ok": True, "installed": len(keys)})
 
@@ -163,6 +192,8 @@ class MigrationDaemon:
 
         pid = body["pid"]
         st = self._staging(pid)
+        tr = self.env.tracer
+        restore_span = tr.begin("migd.restore", pid=pid) if tr.enabled else 0
         image = body["image"]
         proc = body["proc"]
         originals = body.get("originals") or {}
@@ -209,10 +240,24 @@ class MigrationDaemon:
         captured_total = sum(self.capture.queue_length(k) for k in keys)
         for key in keys:
             reinjected += self.capture.reinject(key)
+        if tr.enabled:
+            tr.event(
+                "capture.reinject",
+                pid=pid,
+                captured=captured_total,
+                reinjected=reinjected,
+            )
 
         # Adopt the process and resume execution on this node.
         kernel.adopt_process(proc)
         proc.thaw()
+        if tr.enabled:
+            tr.event("migd.thaw", pid=pid, node=self.host.name)
+            tr.end(
+                restore_span,
+                restored_sockets=len(restored),
+                jiffies_delta=jiffies_delta,
+            )
         self._inbound.pop(pid, None)
         self.migrations_completed += 1
         if respond:

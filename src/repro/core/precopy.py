@@ -131,6 +131,17 @@ class LiveMigrationEngine:
         space = proc.address_space
         report = self.report
         report.started_at = self.env.now
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "mig.start",
+                pid=proc.pid,
+                name=proc.name,
+                strategy=self.strategy.name,
+                source=self.source.name,
+                dest=self.dest.name,
+                n_threads=len(proc.threads),
+            )
 
         try:
             # Live-checkpoint request: signal, clone the helper thread,
@@ -153,6 +164,13 @@ class LiveMigrationEngine:
             while round_timeout > cfg.freeze_threshold and report.precopy_rounds < cfg.max_rounds:
                 round_start = self.env.now
                 first = report.precopy_rounds == 0
+                round_span = (
+                    tr.begin(
+                        "mig.precopy.round", pid=proc.pid, round=report.precopy_rounds
+                    )
+                    if tr.enabled
+                    else 0
+                )
 
                 vdiff = self._vma_tracker.scan(space)
                 pages, page_bytes = dump_pages(proc, dirty_only=not first)
@@ -186,6 +204,18 @@ class LiveMigrationEngine:
                 report.bytes.precopy_vmas += vma_bytes
                 report.bytes.precopy_sockets += sock_bytes
                 report.precopy_rounds += 1
+                if tr.enabled:
+                    # The span covers the round's work (scan + dump +
+                    # transfer); the idle wait up to the loop timeout is
+                    # pacing, not work, and stays outside it.
+                    tr.end(
+                        round_span,
+                        dirty_pages=len(pages),
+                        page_bytes=page_bytes,
+                        vma_bytes=vma_bytes,
+                        sock_bytes=sock_bytes,
+                        sock_records=len(sock_records),
+                    )
 
                 elapsed = self.env.now - round_start
                 if elapsed < round_timeout:
@@ -202,7 +232,16 @@ class LiveMigrationEngine:
                     sock.force_userspace()
             proc.freeze()
             report.frozen_at = self.env.now
+            if tr.enabled:
+                tr.event("mig.freeze.enter", pid=proc.pid)
+            barrier_span = (
+                tr.begin("mig.freeze.barrier", pid=proc.pid, threads=len(proc.threads))
+                if tr.enabled
+                else 0
+            )
             yield self.env.timeout(costs.barrier_cost * len(proc.threads))
+            if tr.enabled:
+                tr.end(barrier_span)
 
             # If any of this process's in-cluster peers migrated earlier,
             # this host's transd holds the filters rewriting our traffic
@@ -244,10 +283,25 @@ class LiveMigrationEngine:
             report.bytes.freeze_vmas += vma_bytes
             report.bytes.freeze_files += file_bytes
             report.bytes.freeze_threads += thread_bytes
+            if tr.enabled:
+                tr.event(
+                    "mig.freeze.image",
+                    pid=proc.pid,
+                    page_bytes=page_bytes,
+                    vma_bytes=vma_bytes,
+                    file_bytes=file_bytes,
+                    thread_bytes=thread_bytes,
+                    dirty_pages=len(pages),
+                )
 
             # The process leaves this kernel: no residual dependencies.
             self.source.kernel.remove_process(proc)
 
+            transfer_span = (
+                tr.begin("mig.freeze.transfer", pid=proc.pid, nbytes=image.total_bytes)
+                if tr.enabled
+                else 0
+            )
             reply = yield self.channel.request(
                 {
                     "op": "freeze",
@@ -266,6 +320,16 @@ class LiveMigrationEngine:
             report.jiffies_delta = reply["jiffies_delta"]
             report.finished_at = self.env.now
             report.success = True
+            if tr.enabled:
+                tr.end(transfer_span)
+                tr.event(
+                    "mig.complete",
+                    pid=proc.pid,
+                    rounds=report.precopy_rounds,
+                    freeze_time=report.freeze_time,
+                    captured=report.packets_captured,
+                    reinjected=report.packets_reinjected,
+                )
             return report
 
         except RpcError as exc:
@@ -277,6 +341,13 @@ class LiveMigrationEngine:
             report.finished_at = self.env.now
             report.success = False
             self._rollback()
+            if tr.enabled:
+                tr.event(
+                    "mig.abort",
+                    pid=proc.pid,
+                    error=report.error,
+                    frozen=report.frozen_at > 0.0,
+                )
             return report
         except Exception as exc:  # pragma: no cover - defensive
             report.error = f"{type(exc).__name__}: {exc}"
@@ -343,6 +414,9 @@ class LiveMigrationEngine:
 
         proc = self.proc
         kernel = self.source.kernel
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event("mig.rollback.start", pid=proc.pid)
         # Best effort: tell the destination to drop its staging/filters.
         self.source.control.send(
             self.dest.local_ip, MIGD_PORT, {"op": "abort", "pid": proc.pid}
@@ -357,6 +431,13 @@ class LiveMigrationEngine:
         # any translation filters pointing at the failed destination.
         for sock in self.ctx.originals.values():
             reenable_socket(sock)
+            if tr.enabled:
+                tr.event(
+                    "mig.rollback.reenable_socket",
+                    pid=proc.pid,
+                    local_port=sock.local.port,
+                    remote=str(sock.remote) if sock.remote is not None else None,
+                )
             if self.ctx.is_local_peer(sock):
                 rule = TranslationRule(
                     old_ip=sock.orig_local_ip or sock.local.ip,
@@ -367,6 +448,13 @@ class LiveMigrationEngine:
                 self.source.control.send(
                     sock.remote.ip, TRANSD_PORT, {"op": "remove", "rule": rule}, size=96
                 )
+                if tr.enabled:
+                    tr.event(
+                        "mig.rollback.retract_filter",
+                        pid=proc.pid,
+                        peer=str(sock.remote.ip),
+                        mig_port=sock.local.port,
+                    )
         # Re-install any peer rules that were relocated to the failed
         # destination, drop the departure records, and tell the failed
         # node to discard its copies.
@@ -380,8 +468,17 @@ class LiveMigrationEngine:
             self.source.control.send(
                 self.dest.local_ip, TRANSD_PORT, {"op": "remove", "rule": rule}, size=96
             )
+            if tr.enabled:
+                tr.event(
+                    "mig.rollback.retract_filter",
+                    pid=proc.pid,
+                    peer=str(self.dest.local_ip),
+                    mig_port=rule.mig_port,
+                )
         if proc.is_frozen:
             proc.thaw()
+            if tr.enabled:
+                tr.event("mig.rollback.thaw", pid=proc.pid)
 
 
 def migrate_process(

@@ -74,9 +74,33 @@ class MigrationReport:
     error: str = ""
 
     @property
-    def freeze_time(self) -> float:
-        """Process downtime: the interval the application was frozen."""
+    def freeze_time(self) -> Optional[float]:
+        """Process downtime: the interval the application was frozen.
+
+        ``None`` while the interval is incomplete — a migration that
+        failed after the freeze point has ``frozen_at`` set but
+        ``thawed_at`` still 0.0, and the naive difference would be a
+        nonsensical *negative* downtime.  Timestamps of 0.0 mean "never
+        happened" (see :meth:`timestamps_valid`).
+        """
+        if self.frozen_at <= 0.0 or self.thawed_at <= 0.0:
+            return None
+        if self.thawed_at < self.frozen_at:
+            return None  # clock skew/bug guard: never report negative
         return self.thawed_at - self.frozen_at
+
+    def timestamps_valid(self) -> dict[str, bool]:
+        """Which lifecycle timestamps actually happened (0.0 = never).
+
+        Failed reports stop partway through the lifecycle; this makes
+        explicit which of their timestamps may be used.
+        """
+        return {
+            "started_at": self.started_at > 0.0,
+            "frozen_at": self.frozen_at > 0.0,
+            "thawed_at": self.thawed_at > 0.0,
+            "finished_at": self.finished_at > 0.0,
+        }
 
     @property
     def total_time(self) -> float:
@@ -95,16 +119,22 @@ class MigrationReport:
         out["freeze_time"] = self.freeze_time
         out["total_time"] = self.total_time
         out["n_sockets"] = self.n_sockets
+        out["timestamps_valid"] = self.timestamps_valid()
         out["bytes"]["precopy_total"] = self.bytes.precopy_total
         out["bytes"]["freeze_total"] = self.bytes.freeze_total
         out["bytes"]["total"] = self.bytes.total
         return out
 
     def summary(self) -> str:
-        return (
+        ft = self.freeze_time
+        freeze = f"{ft * 1e3:.2f}ms" if ft is not None else "n/a (incomplete)"
+        line = (
             f"{self.strategy}: {self.process_name} {self.source}->{self.destination} "
             f"sockets={self.n_sockets} rounds={self.precopy_rounds} "
-            f"freeze={self.freeze_time * 1e3:.2f}ms total={self.total_time * 1e3:.1f}ms "
+            f"freeze={freeze} total={self.total_time * 1e3:.1f}ms "
             f"freeze_bytes={self.bytes.freeze_total} "
             f"(sockets={self.bytes.freeze_sockets})"
         )
+        if not self.success and self.error:
+            line += f" FAILED: {self.error}"
+        return line

@@ -155,6 +155,11 @@ class SocketMigrationStrategy:
             + ctx.costs.capture_req_bytes_per_socket * len(keys)
         )
         ctx.report.bytes.capture_requests += nbytes
+        tr = ctx.env.tracer
+        if tr.enabled:
+            tr.event(
+                "capture.request", pid=ctx.proc.pid, keys=len(keys), nbytes=nbytes
+            )
         yield ctx.channel.request(
             {"op": "capture", "pid": ctx.proc.pid, "keys": keys}, nbytes
         )
@@ -183,6 +188,15 @@ class SocketMigrationStrategy:
             physical = ctx.peer_physical.get(conn_key) or source_transd.resolve_physical(
                 *conn_key
             )
+            tr = ctx.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "transd.request",
+                    pid=ctx.proc.pid,
+                    peer=str(physical),
+                    mig_port=rule.mig_port,
+                    peer_port=rule.peer_port,
+                )
             yield ctx.source.control.rpc(
                 physical,
                 TRANSD_PORT,
@@ -219,6 +233,16 @@ class SocketMigrationStrategy:
         rec.parent_port = entry.parent_port
         ctx.register_original(entry, rec)
         ctx.count_socket(entry)
+        tr = ctx.env.tracer
+        if tr.enabled:
+            tr.event(
+                "sock.subtract",
+                pid=ctx.proc.pid,
+                proto=rec.proto,
+                nbytes=rec.nbytes,
+                full=rec.full,
+                fd=entry.fd,
+            )
         return rec
 
 

@@ -80,6 +80,15 @@ class TransD:
             fwd = self._tombstones.get((rule.peer_port, rule.old_ip, rule.mig_port))
             if fwd is not None:
                 self.installs_forwarded += 1
+                tr = self.host.env.tracer
+                if tr.enabled:
+                    tr.event(
+                        "transd.forward",
+                        host=self.host.name,
+                        forwarded_to=str(fwd),
+                        mig_port=rule.mig_port,
+                        peer_port=rule.peer_port,
+                    )
                 self.host.env.process(
                     self._forward_install(fwd, body, respond),
                     name="transd-forward",
@@ -120,6 +129,16 @@ class TransD:
     def install(self, rule: TranslationRule) -> None:
         key = (rule.old_ip, rule.mig_port, rule.peer_port)
         self._rules[key] = rule
+        tr = self.host.env.tracer
+        if tr.enabled:
+            tr.event(
+                "transd.install",
+                host=self.host.name,
+                old_ip=str(rule.old_ip),
+                new_ip=str(rule.new_ip),
+                mig_port=rule.mig_port,
+                peer_port=rule.peer_port,
+            )
         if self._out_hook is None:
             self._out_hook = self.host.kernel.netfilter.register(
                 NF_INET_LOCAL_OUT, self._translate_out, name="transd-out"
@@ -134,6 +153,15 @@ class TransD:
 
     def remove(self, rule: TranslationRule) -> None:
         self._rules.pop((rule.old_ip, rule.mig_port, rule.peer_port), None)
+        tr = self.host.env.tracer
+        if tr.enabled:
+            tr.event(
+                "transd.remove",
+                host=self.host.name,
+                old_ip=str(rule.old_ip),
+                mig_port=rule.mig_port,
+                peer_port=rule.peer_port,
+            )
         if not self._rules and self._out_hook is not None:
             self.host.kernel.netfilter.unregister(self._out_hook)
             self.host.kernel.netfilter.unregister(self._in_hook)

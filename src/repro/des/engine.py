@@ -5,6 +5,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Optional
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from .process import Process
 
@@ -39,6 +41,12 @@ class Environment:
         self._eid = 0
         #: Event processed most recently (debugging aid).
         self._active_proc: Optional[Process] = None
+        #: Structured tracer (see :mod:`repro.obs`).  The default is the
+        #: shared no-op tracer; call :meth:`enable_tracing` to record.
+        #: Hot call sites guard with ``if env.tracer.enabled:``.
+        self.tracer = NULL_TRACER
+        #: Metrics registry, created lazily by :meth:`enable_metrics`.
+        self._metrics: Optional[MetricsRegistry] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -50,6 +58,36 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process whose generator is currently executing, if any."""
         return self._active_proc
+
+    # -- observability -------------------------------------------------------
+    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach a recording :class:`~repro.obs.Tracer` (and return it).
+
+        Until this is called, :attr:`tracer` is the shared no-op tracer
+        and instrumented components pay only an attribute load plus a
+        branch per would-be record.
+        """
+        self.tracer = tracer if tracer is not None else Tracer(self)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        self.tracer = NULL_TRACER
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The metrics registry, or ``None`` when metrics are disabled.
+        Components register gauges only when this is not ``None``."""
+        return self._metrics
+
+    def enable_metrics(self) -> MetricsRegistry:
+        """Create (or fetch) the environment's metrics registry.
+
+        Call *before* building hosts/daemons: they register their gauges
+        at construction time if the registry exists.
+        """
+        if self._metrics is None:
+            self._metrics = MetricsRegistry()
+        return self._metrics
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -115,8 +153,12 @@ class Environment:
         elif isinstance(until, Event):
             at = until
             if at.callbacks is None:
-                # Already processed: nothing to run.
-                return at.value
+                # Already processed: nothing to run.  Mirror the
+                # fail-during-run path exactly: a failed 'until' event
+                # re-raises its exception instead of returning it.
+                if at._ok:
+                    return at.value
+                raise at._value
             at.callbacks.append(StopSimulation.callback)
         else:
             horizon = float(until)

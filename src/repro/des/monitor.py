@@ -8,7 +8,7 @@ offers simple resampling/summary helpers for the report renderers.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -42,12 +42,30 @@ class TimeSeries:
     def values(self) -> np.ndarray:
         return np.asarray(self._values)
 
-    def value_at(self, time: float) -> float:
-        """Step-interpolated value at ``time`` (last sample <= time)."""
+    def value_at(self, time: float, default: Optional[float] = None) -> float:
+        """Step-function lookup: the value of the *last* sample whose
+        timestamp is ``<= time``.
+
+        Semantics (the series is a right-continuous step function):
+
+        - Exactly **at** a sample boundary the sample recorded at that
+          time wins — ``bisect_right`` places the query *after* all
+          equal timestamps, so ``idx`` lands on the boundary sample.
+        - With **duplicate** timestamps (several records at the same
+          time), the last one recorded wins, matching "latest state at
+          t".
+        - **Before the first sample** (or on an empty series) there is
+          no state yet: ``default`` is returned when given, otherwise
+          ``ValueError`` is raised.
+        """
         if not self._times:
+            if default is not None:
+                return default
             raise ValueError("empty series")
         idx = bisect_right(self._times, time) - 1
         if idx < 0:
+            if default is not None:
+                return default
             raise ValueError(f"no sample at or before t={time}")
         return self._values[idx]
 
@@ -74,9 +92,11 @@ class TimeSeries:
             raise ValueError("empty series")
         return float(np.min(self._values))
 
-    def resample(self, times: Iterable[float]) -> np.ndarray:
-        """Step-interpolate onto an arbitrary time grid."""
-        return np.asarray([self.value_at(t) for t in times])
+    def resample(self, times: Iterable[float], default: Optional[float] = None) -> np.ndarray:
+        """Step-interpolate onto an arbitrary time grid (same boundary
+        semantics as :meth:`value_at`; ``default`` fills grid points
+        before the first sample)."""
+        return np.asarray([self.value_at(t, default=default) for t in times])
 
 
 class SeriesBundle:

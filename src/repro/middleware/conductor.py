@@ -66,7 +66,9 @@ class MigrationEvent:
     process_name: str
     source: str
     destination: str
-    freeze_time: float
+    #: ``None`` when the migration failed before the thaw (the freeze
+    #: interval never completed — see ``MigrationReport.freeze_time``).
+    freeze_time: Optional[float]
     success: bool
 
 
@@ -102,6 +104,18 @@ class Conductor:
         self.migrations_received = 0
         self.reserve_rejections = 0
         self.enabled = True
+
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.gauge(
+                f"cond.{host.name}.initiated", fn=lambda: self.migrations_initiated
+            )
+            metrics.gauge(
+                f"cond.{host.name}.received", fn=lambda: self.migrations_received
+            )
+            metrics.gauge(
+                f"cond.{host.name}.rejections", fn=lambda: self.reserve_rejections
+            )
 
         host.control.register(CONDUCTOR_PORT, self._handle)
         self.env.process(self._discover(), name=f"cond-discover-{host.name}")
@@ -154,10 +168,26 @@ class Conductor:
             ok = self.slot.try_reserve(body["sender"])
             if not ok:
                 self.reserve_rejections += 1
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "cond.reserve",
+                    node=self.host.name,
+                    sender=body["sender"],
+                    granted=ok,
+                )
             if respond:
                 respond({"ok": ok, "info": self.load_info()})
         elif op == "release":
             who = body["sender"]
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "cond.release",
+                    node=self.host.name,
+                    sender=who,
+                    committed=body.get("committed", True),
+                )
             if self.slot.reserved_by == who:
                 self.slot.release(who, start_calm_down=body.get("committed", True))
             if body.get("committed") and body.get("pid") is not None:
@@ -192,6 +222,15 @@ class Conductor:
             yield self.env.timeout(self.information.interval)
             self.peers.prune_stale(self.env.now)
             info = self.load_info()
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "cond.heartbeat",
+                    node=self.host.name,
+                    cpu=info.cpu_percent,
+                    nprocs=info.nprocs,
+                    peers=len(self.peers.peers()),
+                )
             for peer in self.peers.peers():
                 self.host.control.send(
                     peer.local_ip, CONDUCTOR_PORT, {"op": "heartbeat", "info": info}, size=96
@@ -250,6 +289,15 @@ class Conductor:
             # Phase 2: committed — run the live migration.
             dest = self.resolve_host(candidate.local_ip)
             self.migrations_initiated += 1
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "cond.decision",
+                    node=me,
+                    pid=proc.pid,
+                    proc=proc.name,
+                    dest=dest.name,
+                )
             report: MigrationReport = yield LiveMigrationEngine(
                 self.host, dest, proc, self.config.migration
             ).start()

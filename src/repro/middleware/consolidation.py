@@ -175,13 +175,14 @@ class Consolidator:
                     if target_slot is not None:
                         target_slot.release("consolidator", start_calm_down=False)
                 self._transfer_management(source, target, proc)
+                ft = report.freeze_time
+                freeze_desc = f"{ft * 1e3:.1f} ms freeze" if ft is not None else "freeze n/a"
                 self.events.append(
                     PowerEvent(
                         self.env.now,
                         "migrate",
                         source.name,
-                        f"{proc.name} -> {target.name} "
-                        f"({report.freeze_time * 1e3:.1f} ms freeze)",
+                        f"{proc.name} -> {target.name} ({freeze_desc})",
                     )
                 )
             if drained and not self.resolve_processes(source):

@@ -41,6 +41,9 @@ class LoadMonitor:
             TimeSeries(f"{host.name}-cpu") if record_history else None
         )
         self._proc = self.env.process(self._sample_loop(), name=f"monitor-{host.name}")
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.gauge(f"cpu.{host.name}", fn=self.instantaneous_load)
 
     def _sample_loop(self):
         while True:

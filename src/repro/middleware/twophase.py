@@ -45,6 +45,9 @@ class MigrationSlot:
         if self.busy or self.calming:
             return False
         self._reserved_by = who
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event("cond.slot.reserve", who=who)
         return True
 
     def release(self, who: str, start_calm_down: bool = True) -> None:
@@ -58,6 +61,9 @@ class MigrationSlot:
                 f"slot reserved by {self._reserved_by!r}, released by {who!r}"
             )
         self._reserved_by = None
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event("cond.slot.release", who=who, calm_down=start_calm_down)
         if start_calm_down:
             self._calm_until = self.env.now + self.calm_down
 

@@ -1,0 +1,47 @@
+"""``repro.obs`` — tracing and metrics for the simulated cluster.
+
+- :mod:`tracer` — typed span/event recording with simulated timestamps,
+  zero-overhead when disabled (the default);
+- :mod:`metrics` — counters/gauges sampled into the existing
+  :class:`~repro.des.TimeSeries` machinery;
+- :mod:`export` — JSONL trace export/import, per-migration phase
+  timelines and summary tables, byte-reconciliation helpers;
+- :mod:`cli` — the ``repro-trace`` command.
+
+See ``docs/observability.md`` for the span-name vocabulary and how to
+read a phase timeline.
+"""
+
+from .export import (
+    MigrationSlice,
+    migration_slices,
+    phase_byte_sums,
+    read_jsonl,
+    render_timeline,
+    render_trace_summary,
+    trace_to_jsonl,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, MetricsRegistry, install_metrics_sampler
+from .tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, assemble_spans
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "Span",
+    "assemble_spans",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "install_metrics_sampler",
+    "trace_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "migration_slices",
+    "MigrationSlice",
+    "phase_byte_sums",
+    "render_timeline",
+    "render_trace_summary",
+]

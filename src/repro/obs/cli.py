@@ -1,0 +1,71 @@
+"""``repro-trace``: render a JSONL migration trace as text.
+
+Usage::
+
+    repro-trace results/fig5b_n16_incremental-collective_rep0.jsonl
+    repro-trace trace.jsonl --pid 1000 --timeline
+    repro-trace trace.jsonl --summary
+
+With no mode flag both the summary table and the per-migration phase
+timelines are printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .export import read_jsonl, render_timeline, render_trace_summary
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render a JSONL migration trace (see docs/observability.md).",
+    )
+    parser.add_argument("trace", type=Path, help="JSONL trace file")
+    parser.add_argument(
+        "--pid", type=int, default=None, help="only this process's migrations"
+    )
+    parser.add_argument(
+        "--timeline", action="store_true", help="print only the phase timelines"
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="print only the summary table"
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=200,
+        help="cap timeline rows per migration (default 200)",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.trace.exists():
+        print(f"repro-trace: no such file: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        events = read_jsonl(args.trace)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"repro-trace: {args.trace} is not a JSONL trace: {exc}", file=sys.stderr)
+        return 2
+    show_summary = args.summary or not args.timeline
+    show_timeline = args.timeline or not args.summary
+    if show_summary:
+        print(render_trace_summary(events))
+    if show_summary and show_timeline:
+        print()
+    if show_timeline:
+        print(render_timeline(events, pid=args.pid, max_rows=args.max_rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""Trace export (JSONL) and plain-text phase-timeline rendering.
+
+One JSONL line per :class:`~repro.obs.tracer.TraceEvent`; field values
+that are not JSON-native (IP addresses, endpoints) are stringified, so
+a re-read trace is structurally identical but weakly typed.  The
+renderers mirror the repo's other report output: fixed-width text, one
+table per migration.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from .tracer import Span, TraceEvent, Tracer, assemble_spans
+
+__all__ = [
+    "trace_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "migration_slices",
+    "phase_byte_sums",
+    "render_timeline",
+    "render_trace_summary",
+]
+
+#: Names whose end-edge byte fields reconcile against PhaseBytes.
+PRECOPY_ROUND = "mig.precopy.round"
+FREEZE_IMAGE = "mig.freeze.image"
+SOCK_SUBTRACT = "sock.subtract"
+CAPTURE_REQUEST = "capture.request"
+MIG_START = "mig.start"
+MIG_COMPLETE = "mig.complete"
+MIG_ABORT = "mig.abort"
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def trace_to_jsonl(trace: Union[Tracer, list[TraceEvent]]) -> str:
+    """The whole event stream, one JSON object per line."""
+    events = trace.events if isinstance(trace, Tracer) else trace
+    out = io.StringIO()
+    for ev in events:
+        out.write(json.dumps(_jsonable(ev.to_dict()), separators=(",", ":")))
+        out.write("\n")
+    return out.getvalue()
+
+
+def write_jsonl(path: Union[str, Path], trace: Union[Tracer, list[TraceEvent]]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(trace_to_jsonl(trace))
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
+    events = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+@dataclass
+class MigrationSlice:
+    """The records of one migration attempt (one ``mig.start`` .. its
+    terminal ``mig.complete``/``mig.abort``)."""
+
+    pid: int
+    start: TraceEvent
+    events: list[TraceEvent] = field(default_factory=list)
+    terminal: Optional[TraceEvent] = None
+
+    @property
+    def strategy(self) -> str:
+        return str(self.start.fields.get("strategy", "?"))
+
+    @property
+    def succeeded(self) -> Optional[bool]:
+        if self.terminal is None:
+            return None
+        return self.terminal.name == MIG_COMPLETE
+
+    def spans(self, name: Optional[str] = None) -> list[Span]:
+        return assemble_spans(self.events, name)
+
+
+def migration_slices(events: list[TraceEvent]) -> list[MigrationSlice]:
+    """Split a stream into per-migration slices.
+
+    A record belongs to the open slice of its ``pid`` field.  Span end
+    edges usually carry no ``pid`` (only result fields), so they follow
+    the slice of their *begin* edge.  Other pid-less records (conductor
+    chatter, transd installs) are left out of every slice.
+    """
+    open_by_pid: dict[int, MigrationSlice] = {}
+    #: span_id -> owning slice, for end edges without a pid field.
+    span_owner: dict[int, MigrationSlice] = {}
+    out: list[MigrationSlice] = []
+    for ev in events:
+        pid = ev.fields.get("pid")
+        if ev.name == MIG_START and pid is not None:
+            sl = MigrationSlice(pid=pid, start=ev)
+            sl.events.append(ev)
+            open_by_pid[pid] = sl
+            out.append(sl)
+            continue
+        if pid is None:
+            if ev.kind == "end" and ev.span_id is not None:
+                sl = span_owner.pop(ev.span_id, None)
+                if sl is not None:
+                    sl.events.append(ev)
+            continue
+        sl = open_by_pid.get(pid)
+        if sl is None:
+            continue
+        sl.events.append(ev)
+        if ev.kind == "begin" and ev.span_id is not None:
+            span_owner[ev.span_id] = sl
+        if ev.name in (MIG_COMPLETE, MIG_ABORT):
+            sl.terminal = ev
+            del open_by_pid[pid]
+    return out
+
+
+def phase_byte_sums(sl: MigrationSlice) -> dict[str, int]:
+    """Per-phase byte totals recomputed purely from trace records.
+
+    The keys mirror :class:`~repro.core.stats.PhaseBytes`; for a traced
+    migration these sums reconcile exactly with the report counters.
+    """
+    sums = {
+        "precopy_pages": 0,
+        "precopy_vmas": 0,
+        "precopy_sockets": 0,
+        "freeze_pages": 0,
+        "freeze_vmas": 0,
+        "freeze_sockets": 0,
+        "freeze_files": 0,
+        "freeze_threads": 0,
+        "capture_requests": 0,
+    }
+    for ev in sl.events:
+        if ev.name == PRECOPY_ROUND and ev.kind == "end":
+            sums["precopy_pages"] += int(ev.fields.get("page_bytes", 0))
+            sums["precopy_vmas"] += int(ev.fields.get("vma_bytes", 0))
+            sums["precopy_sockets"] += int(ev.fields.get("sock_bytes", 0))
+        elif ev.name == FREEZE_IMAGE:
+            sums["freeze_pages"] += int(ev.fields.get("page_bytes", 0))
+            sums["freeze_vmas"] += int(ev.fields.get("vma_bytes", 0))
+            sums["freeze_files"] += int(ev.fields.get("file_bytes", 0))
+            sums["freeze_threads"] += int(ev.fields.get("thread_bytes", 0))
+        elif ev.name == SOCK_SUBTRACT:
+            sums["freeze_sockets"] += int(ev.fields.get("nbytes", 0))
+        elif ev.name == CAPTURE_REQUEST:
+            sums["capture_requests"] += int(ev.fields.get("nbytes", 0))
+    return sums
+
+
+def _fmt_fields(fields: dict, skip=("pid",)) -> str:
+    parts = []
+    for k, v in fields.items():
+        if k in skip:
+            continue
+        if isinstance(v, float):
+            v = f"{v:.6g}"
+        parts.append(f"{k}={v}")
+    return " ".join(parts)
+
+
+def render_timeline(
+    events: list[TraceEvent], pid: Optional[int] = None, max_rows: int = 200
+) -> str:
+    """Per-migration phase timelines: each record at its offset (ms)
+    from the migration's start, spans with their durations."""
+    from ..analysis.report import render_table
+
+    slices = migration_slices(events)
+    if pid is not None:
+        slices = [s for s in slices if s.pid == pid]
+    if not slices:
+        return "(no migrations in trace)"
+    blocks = []
+    for sl in slices:
+        t0 = sl.start.time
+        rows = []
+        ended = {
+            e.span_id for e in sl.events if e.kind == "end" and e.span_id is not None
+        }
+        spans_by_id = {s.span_id: s for s in sl.spans()}
+        for ev in sl.events:
+            if ev.kind == "end":
+                continue  # folded into the begin row below
+            label = ev.name
+            detail = _fmt_fields(ev.fields)
+            if ev.kind == "begin":
+                span = spans_by_id.get(ev.span_id)
+                if span is not None and span.end is not None:
+                    detail = (
+                        f"[{(span.end - span.start) * 1e3:.3f} ms] "
+                        + _fmt_fields(span.fields)
+                    ).strip()
+                elif ev.span_id not in ended:
+                    detail = "[unfinished] " + detail
+            rows.append([f"{(ev.time - t0) * 1e3:+.3f}", label, detail])
+        dropped = max(0, len(rows) - max_rows)
+        if dropped:
+            rows = rows[: max_rows // 2] + rows[-(max_rows - max_rows // 2):]
+        status = {True: "success", False: "aborted", None: "unfinished"}[sl.succeeded]
+        title = (
+            f"migration pid={sl.pid} strategy={sl.strategy} "
+            f"{sl.start.fields.get('source', '?')}->{sl.start.fields.get('dest', '?')} "
+            f"start={t0:.6f}s [{status}]"
+            + (f" ({dropped} rows elided)" if dropped else "")
+        )
+        blocks.append(
+            render_table(["t+ (ms)", "record", "detail"], rows, title=title)
+        )
+    return "\n\n".join(blocks)
+
+
+def render_trace_summary(events: list[TraceEvent]) -> str:
+    """One row per migration: phases, rounds, downtime, byte totals."""
+    from ..analysis.report import render_table
+
+    rows = []
+    for sl in migration_slices(events):
+        rounds = [s for s in sl.spans(PRECOPY_ROUND) if s.end is not None]
+        freeze = [e for e in sl.events if e.name == "mig.freeze.enter"]
+        thaw = [e for e in sl.events if e.name == "migd.thaw"]
+        downtime_ms = (
+            (thaw[0].time - freeze[0].time) * 1e3 if freeze and thaw else float("nan")
+        )
+        sums = phase_byte_sums(sl)
+        precopy_bytes = (
+            sums["precopy_pages"] + sums["precopy_vmas"] + sums["precopy_sockets"]
+        )
+        freeze_bytes = (
+            sums["freeze_pages"]
+            + sums["freeze_vmas"]
+            + sums["freeze_sockets"]
+            + sums["freeze_files"]
+            + sums["freeze_threads"]
+        )
+        status = {True: "ok", False: "abort", None: "?"}[sl.succeeded]
+        rows.append(
+            [
+                sl.pid,
+                sl.strategy,
+                f"{sl.start.fields.get('source', '?')}->{sl.start.fields.get('dest', '?')}",
+                len(rounds),
+                f"{downtime_ms:.3f}" if downtime_ms == downtime_ms else "-",
+                precopy_bytes,
+                freeze_bytes,
+                sums["capture_requests"],
+                status,
+            ]
+        )
+    if not rows:
+        return "(no migrations in trace)"
+    return render_table(
+        [
+            "pid",
+            "strategy",
+            "route",
+            "rounds",
+            "downtime (ms)",
+            "precopy B",
+            "freeze B",
+            "capture B",
+            "result",
+        ],
+        rows,
+        title="Trace summary: one row per migration",
+    )

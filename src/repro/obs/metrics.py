@@ -1,0 +1,121 @@
+"""Counters and gauges, sampled into the existing time-series machinery.
+
+The simulation already has one export path for evaluation data: the
+:class:`~repro.des.TimeSeries` / :class:`~repro.des.SeriesBundle`
+recorders behind Figures 5d-5f (and their CSV exporters).  The metrics
+registry reuses it: daemons register cheap :class:`Counter` and
+:class:`Gauge` objects, and a periodic sampler snapshots every metric
+into a ``SeriesBundle`` so migration-layer and middleware-layer metrics
+come out of the same pipe.
+
+Gauges may wrap a callable, so existing daemon attributes (e.g.
+``MigrationDaemon.migrations_completed``) become metrics without any
+hot-path bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "install_metrics_sampler"]
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def get(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value: either set explicitly or read via ``fn``."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        self._value = float(value)
+
+    def get(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+
+class MetricsRegistry:
+    """Named counters/gauges with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    # -- registration --------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            if name in self._gauges:
+                raise ValueError(f"{name!r} is already a gauge")
+            c = Counter(name)
+            self._counters[name] = c
+        return c
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            g = Gauge(name, fn)
+            self._gauges[name] = g
+        elif fn is not None:
+            g.fn = fn  # rebind: a daemon re-registering after restart
+        return g
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._gauges
+
+    # -- sampling ------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Current value of every metric."""
+        out = {name: c.get() for name, c in self._counters.items()}
+        out.update({name: g.get() for name, g in self._gauges.items()})
+        return out
+
+    def sample_into(self, bundle, time: float) -> None:
+        """Record every metric into a :class:`~repro.des.SeriesBundle`
+        at ``time`` — the shared export path with the Fig. 5 series."""
+        for name, value in sorted(self.snapshot().items()):
+            bundle.record(name, time, value)
+
+
+def install_metrics_sampler(env, registry: MetricsRegistry, bundle, interval: float):
+    """Spawn a DES process sampling ``registry`` into ``bundle`` every
+    ``interval`` simulated seconds.  Returns the process."""
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+
+    def loop():
+        while True:
+            registry.sample_into(bundle, env.now)
+            yield env.timeout(interval)
+
+    return env.process(loop(), name="metrics-sampler")

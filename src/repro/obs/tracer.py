@@ -1,0 +1,245 @@
+"""Structured tracing for the simulation (the observability substrate).
+
+The paper's whole evaluation is a set of timelines — freeze intervals,
+per-phase byte counts, packet gaps, per-node CPU series — yet a
+:class:`~repro.core.stats.MigrationReport` only shows the terminal
+numbers.  The tracer records *typed, timestamped* records as the
+simulation runs: point events (``tracer.event``) and spans with a begin
+and an end (``tracer.begin``/``tracer.end`` or the ``tracer.span``
+context manager), all stamped with **simulated** time.
+
+Design constraints:
+
+- **Zero overhead when disabled.**  Every :class:`~repro.des.Environment`
+  carries :data:`NULL_TRACER` by default, whose methods are no-ops; hot
+  call sites additionally guard with ``if tracer.enabled:`` so not even
+  a kwargs dict is built on the common path.
+- **One tracer per environment.**  All simulated machines share one DES
+  environment, so one tracer sees both sides of a migration (source
+  engine *and* destination migd) in a single ordered record stream.
+- **Plain data.**  A trace is a list of :class:`TraceEvent`; JSONL
+  export/import lives in :mod:`repro.obs.export`.
+
+Span names follow a dotted ``layer.phase.action`` taxonomy; the full
+vocabulary is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceEvent", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class TraceEvent:
+    """One trace record.
+
+    ``kind`` is ``"event"`` for point events, ``"begin"``/``"end"`` for
+    the two edges of a span.  Begin/end edges of the same span share a
+    ``span_id``; point events have ``span_id is None``.
+    """
+
+    time: float
+    name: str
+    kind: str = "event"
+    span_id: Optional[int] = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {"t": self.time, "name": self.name, "kind": self.kind}
+        if self.span_id is not None:
+            out["span"] = self.span_id
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        return cls(
+            time=float(d["t"]),
+            name=d["name"],
+            kind=d.get("kind", "event"),
+            span_id=d.get("span"),
+            fields=dict(d.get("fields", {})),
+        )
+
+
+@dataclass
+class Span:
+    """A matched begin/end pair, reassembled from the event stream."""
+
+    name: str
+    span_id: int
+    start: float
+    #: ``None`` for a span whose end edge was never recorded (e.g. the
+    #: migration aborted inside it).
+    end: Optional[float]
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+class Tracer:
+    """Recording tracer: appends :class:`TraceEvent` records.
+
+    ``clock`` is anything with a ``now`` attribute (normally the DES
+    :class:`~repro.des.Environment`), read at record time so events are
+    stamped with simulated timestamps.
+    """
+
+    enabled = True
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self.events: list[TraceEvent] = []
+        self._next_span_id = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- recording -----------------------------------------------------------
+    # The record name is positional-only so a field can itself be called
+    # ``name`` (e.g. a process name) without colliding with it.
+    def event(self, name: str, /, **fields) -> None:
+        """Record a point event."""
+        self.events.append(TraceEvent(self._clock.now, name, "event", None, fields))
+
+    def begin(self, name: str, /, **fields) -> int:
+        """Open a span; returns its id for the matching :meth:`end`."""
+        self._next_span_id += 1
+        sid = self._next_span_id
+        self.events.append(TraceEvent(self._clock.now, name, "begin", sid, fields))
+        return sid
+
+    def end(self, span_id: int, /, **fields) -> None:
+        """Close the span opened by :meth:`begin`.  Extra fields are
+        attached to the end edge (e.g. byte counts known only then)."""
+        name = ""
+        for ev in reversed(self.events):
+            if ev.span_id == span_id and ev.kind == "begin":
+                name = ev.name
+                break
+        self.events.append(TraceEvent(self._clock.now, name, "end", span_id, fields))
+
+    def span(self, name: str, /, **fields):
+        """Context manager sugar around :meth:`begin`/:meth:`end`."""
+        return _SpanContext(self, name, fields)
+
+    # -- queries -------------------------------------------------------------
+    def named(self, name: str) -> list[TraceEvent]:
+        """All records with exactly this name."""
+        return [e for e in self.events if e.name == name]
+
+    def spans(self, name: Optional[str] = None) -> list[Span]:
+        """Reassemble begin/end pairs into :class:`Span` objects."""
+        return assemble_spans(self.events, name)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_fields", "span_id")
+
+    def __init__(self, tracer: Tracer, name: str, fields: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self.span_id: Optional[int] = None
+
+    def __enter__(self) -> "_SpanContext":
+        self.span_id = self._tracer.begin(self._name, **self._fields)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self.span_id is not None
+        if exc_type is None:
+            self._tracer.end(self.span_id)
+        else:
+            self._tracer.end(self.span_id, error=f"{exc_type.__name__}: {exc}")
+
+
+class NullTracer:
+    """Disabled tracer: every method is a no-op.
+
+    This is the default on every environment; call sites that build
+    field dicts should still guard with ``if tracer.enabled:`` so the
+    disabled path costs one attribute load and a branch.
+    """
+
+    enabled = False
+    events: list = []  # always empty; shared is fine, nobody appends
+
+    def event(self, name: str, /, **fields) -> None:
+        pass
+
+    def begin(self, name: str, /, **fields) -> int:
+        return 0
+
+    def end(self, span_id: int, /, **fields) -> None:
+        pass
+
+    def span(self, name: str, /, **fields):
+        return _NULL_SPAN
+
+    def named(self, name: str) -> list:
+        return []
+
+    def spans(self, name: Optional[str] = None) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+class _NullSpanContext:
+    span_id = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+#: Shared disabled tracer; the default for every Environment.
+NULL_TRACER = NullTracer()
+
+
+def assemble_spans(
+    events: list[TraceEvent], name: Optional[str] = None
+) -> list[Span]:
+    """Pair begin/end edges in an event list into :class:`Span` records
+    (also used on streams re-read from JSONL).  Unclosed spans get
+    ``end=None``."""
+    open_spans: dict[int, Span] = {}
+    out: list[Span] = []
+    for ev in events:
+        if ev.span_id is None:
+            continue
+        if ev.kind == "begin":
+            span = Span(ev.name, ev.span_id, ev.time, None, dict(ev.fields))
+            open_spans[ev.span_id] = span
+            out.append(span)
+        elif ev.kind == "end":
+            span = open_spans.pop(ev.span_id, None)
+            if span is not None:
+                span.end = ev.time
+                span.fields.update(ev.fields)
+    if name is not None:
+        out = [s for s in out if s.name == name]
+    return out
+
+
+def iter_point_events(events: list[TraceEvent]) -> Iterator[TraceEvent]:
+    """Only the point events of a stream (no span edges)."""
+    return (e for e in events if e.kind == "event")

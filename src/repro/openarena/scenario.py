@@ -5,6 +5,7 @@ tap on both nodes' public links."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
@@ -31,6 +32,9 @@ class Fig4Config:
     #: the situation Figure 4 depicts.  A freeze that fits entirely
     #: between two snapshots is invisible on the wire.
     phase_sweep: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+    #: When set, the worst-case run's migration trace is written as
+    #: ``trace_dir/fig4_worst.jsonl``.
+    trace_dir: Optional[Path] = None
 
 
 @dataclass
@@ -47,6 +51,8 @@ class Fig4Result:
     #: Extra delay versus the expected transmission time (Fig. 4 arrow).
     imposed_delay: float
     snapshots_lost: int
+    #: Trace events of the run, when tracing was enabled.
+    trace: Optional[list] = None
 
     def timeline(self) -> list[tuple[float, int, str]]:
         """(time, packet#, node) rows — the data behind Figure 4."""
@@ -91,12 +97,18 @@ def run_openarena_migration(config: Optional[Fig4Config] = None) -> Fig4Result:
     for lead in (0.001, 0.003):
         offset = (frame - lead - freeze_phase) % frame
         results.append(_run_once(cfg, offset))
-    return max(results, key=lambda r: r.imposed_delay)
+    worst = max(results, key=lambda r: r.imposed_delay)
+    if cfg.trace_dir is not None and worst.trace is not None:
+        from ..obs import write_jsonl
+
+        write_jsonl(Path(cfg.trace_dir) / "fig4_worst.jsonl", worst.trace)
+    return worst
 
 
 def _run_once(cfg: Fig4Config, start_offset: float) -> Fig4Result:
     cluster = Cluster(ClusterConfig(n_nodes=2, with_db=False, master_seed=cfg.seed))
     env = cluster.env
+    tracer = env.enable_tracing() if cfg.trace_dir is not None else None
     source, dest = cluster.nodes
 
     server = OpenArenaServer(source, cfg.server)
@@ -155,4 +167,5 @@ def _run_once(cfg: Fig4Config, start_offset: float) -> Fig4Result:
         migration_gap=gap,
         imposed_delay=imposed,
         snapshots_lost=lost,
+        trace=list(tracer.events) if tracer is not None else None,
     )

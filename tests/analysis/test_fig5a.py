@@ -1,7 +1,6 @@
 """Tests for the Figure-5a map renderers."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_assignment_map, render_density_map, render_fig5a
 from repro.dve import ZoneGrid

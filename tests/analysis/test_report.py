@@ -1,6 +1,5 @@
 """Tests for the text renderers."""
 
-import pytest
 
 from repro.analysis import render_kv, render_series, render_table
 from repro.des import SeriesBundle

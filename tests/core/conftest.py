@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster import build_cluster
-from repro.testing import establish_clients
 
 
 @pytest.fixture

@@ -1,9 +1,8 @@
 """Unit tests for the packet-capture (loss-prevention) service."""
 
-import pytest
 
-from repro.core import CaptureService, capture_key_for, install_capture_service
-from repro.net import Endpoint, IPAddr, PROTO_TCP, PROTO_UDP, Packet, TCPHeader
+from repro.core import capture_key_for, install_capture_service
+from repro.net import IPAddr, PROTO_TCP, Packet, TCPHeader
 from repro.testing import establish_clients, run_for
 
 from .conftest import make_server_proc

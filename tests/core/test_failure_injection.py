@@ -7,7 +7,6 @@ the process resumes on the source with every socket rehashed, and
 clients see at most an RTO-length blip.
 """
 
-import pytest
 
 from repro.core import LiveMigrationConfig, MIGD_PORT, install_migd, migrate_process
 from repro.oskern import RpcError

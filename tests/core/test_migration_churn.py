@@ -1,7 +1,6 @@
 """Migration under connection churn: clients connecting, half-open
 handshakes and closing connections right at the migration boundary."""
 
-import pytest
 
 from repro.core import LiveMigrationConfig, migrate_process
 from repro.net import Endpoint

@@ -1,9 +1,7 @@
 """Engine-level tests for the precopy live migration."""
 
-import pytest
 
 from repro.core import LiveMigrationConfig, LiveMigrationEngine, migrate_process
-from repro.testing import run_for
 
 from .conftest import make_server_proc
 

@@ -11,7 +11,7 @@ from repro.core import (
     subtract_udp_socket,
 )
 from repro.core.sockmig import SCALAR_CHANGE_BYTES
-from repro.net import Endpoint, IPAddr
+from repro.net import IPAddr
 from repro.oskern import CostModel
 from repro.testing import establish_clients, run_for
 

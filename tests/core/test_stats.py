@@ -62,3 +62,42 @@ class TestMigrationReport:
         assert b.total == 0
         assert b.precopy_total == 0
         assert b.freeze_total == 0
+
+
+class TestFailedReportFreezeTime:
+    """Regression: a migration that fails *after* the freeze point has
+    ``frozen_at`` set but ``thawed_at`` still 0.0; the naive difference
+    was a large negative downtime that poisoned worst-case sweeps."""
+
+    def test_failed_at_freeze_is_none_not_negative(self):
+        r = make_report(
+            thawed_at=0.0, finished_at=2.6, success=False,
+            error="aborted: rpc timed out",
+        )
+        assert r.freeze_time is None
+
+    def test_never_frozen_is_none(self):
+        r = make_report(frozen_at=0.0, thawed_at=0.0, success=False)
+        assert r.freeze_time is None
+
+    def test_inverted_timestamps_guarded(self):
+        r = make_report(frozen_at=2.0, thawed_at=1.0)
+        assert r.freeze_time is None  # never a negative interval
+
+    def test_timestamps_valid_flags(self):
+        r = make_report(thawed_at=0.0, success=False)
+        valid = r.timestamps_valid()
+        assert valid["started_at"] and valid["frozen_at"]
+        assert not valid["thawed_at"]
+
+    def test_failed_summary_and_dict(self):
+        r = make_report(
+            thawed_at=0.0, success=False, error="aborted: rpc timed out"
+        )
+        s = r.summary()
+        assert "n/a (incomplete)" in s
+        assert "FAILED: aborted" in s
+        assert "-" not in s.split("freeze=")[1].split(" ")[0]  # no negative number
+        d = r.to_dict()
+        assert d["freeze_time"] is None
+        assert d["timestamps_valid"]["thawed_at"] is False

@@ -4,7 +4,6 @@ delivered exactly once, in order — the strongest transparency property
 the paper's mechanism must provide.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import build_cluster

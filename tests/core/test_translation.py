@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import TRANSD_PORT, TranslationRule, install_transd
-from repro.net import Endpoint, IPAddr
 from repro.testing import connect_local_tcp, run_for
 
 from .conftest import make_server_proc

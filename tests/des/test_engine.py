@@ -31,6 +31,30 @@ class TestRun:
         assert env.run(until=t) == "v"
         assert env.now == 2.0
 
+    def test_run_until_event_failing_during_run_raises(self, env):
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            ev.fail(ValueError("boom"))
+
+        env.process(failer())
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=ev)
+
+    def test_run_until_already_failed_event_raises(self, env):
+        """Regression: a processed *failed* event used to be returned as
+        a value (``run`` handed back the exception instance) while the
+        fail-during-run path raised.  Both paths must raise identically.
+        """
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()  # the failure is handled: don't crash the run loop
+        env.run()  # processes the event
+        assert ev.processed and not ev.ok
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=ev)
+
     def test_run_empty_returns_none(self, env):
         assert env.run() is None
 

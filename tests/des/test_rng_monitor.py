@@ -78,6 +78,37 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             ts.value_at(4)
 
+    def test_value_at_before_first_sample_with_default(self):
+        ts = TimeSeries()
+        ts.record(5, 1)
+        assert ts.value_at(4, default=0.0) == 0.0
+        assert ts.value_at(5, default=0.0) == 1  # boundary: sample wins
+
+    def test_value_at_exact_boundary_takes_new_sample(self):
+        ts = TimeSeries()
+        ts.record(0, 10)
+        ts.record(2, 20)
+        # At exactly t=2 the new sample is in effect (step function is
+        # right-continuous), not the old one.
+        assert ts.value_at(2) == 20
+        assert ts.value_at(2 - 1e-12) == 10
+
+    def test_value_at_duplicate_timestamp_last_wins(self):
+        ts = TimeSeries()
+        ts.record(1, 10)
+        ts.record(1, 99)
+        assert ts.value_at(1) == 99
+        assert ts.value_at(5) == 99
+
+    def test_empty_series_value_at_default(self):
+        ts = TimeSeries()
+        assert ts.value_at(0, default=42.0) == 42.0
+
+    def test_resample_with_default(self):
+        ts = TimeSeries()
+        ts.record(10, 2)
+        assert list(ts.resample([0, 10, 20], default=0.0)) == [0.0, 2, 2]
+
     def test_empty_series_stats_raise(self):
         ts = TimeSeries()
         for fn in (ts.mean, ts.max, ts.min):

@@ -6,7 +6,6 @@ from repro.cluster import build_cluster
 from repro.core import LiveMigrationConfig
 from repro.middleware import (
     CONDUCTOR_PORT,
-    Conductor,
     ConductorConfig,
     PolicyConfig,
     install_conductor,

@@ -1,7 +1,6 @@
 """Cluster membership dynamics: "Machines may join and leave at any
 time" (Section IV)."""
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.core import LiveMigrationConfig

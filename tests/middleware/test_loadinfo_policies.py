@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.des import Environment
 from repro.middleware import (
     InformationPolicy,
     LoadInfo,

@@ -1,6 +1,5 @@
 """Unit tests for the baseline location/selection policy alternatives."""
 
-import pytest
 
 from repro.des import RngRegistry
 from repro.middleware import (

@@ -1,0 +1,16 @@
+"""Fixtures for end-to-end tracing tests: a small cluster with a traced
+zone-server migration."""
+
+import pytest
+
+from repro.cluster import build_cluster
+
+
+@pytest.fixture
+def two_nodes():
+    return build_cluster(n_nodes=2, with_db=False)
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(n_nodes=3, with_db=True)

@@ -1,0 +1,115 @@
+"""Tracing of failed migrations: the rollback must leave an auditable
+record — socket re-enables, filter retractions, and (when the failure
+hit after the freeze) the thaw."""
+
+from repro.core import MIGD_PORT, LiveMigrationConfig, install_migd, migrate_process
+from repro.obs import migration_slices
+from repro.testing import establish_clients, run_for
+
+
+def kill_migd(host) -> None:
+    host.control.unregister(MIGD_PORT)
+    host.daemons.pop("migd", None)
+
+
+def traced_failed_migration(cluster, kill_on_freeze):
+    tracer = cluster.env.enable_tracing()
+    node, dest = cluster.nodes[0], cluster.nodes[1]
+    proc = node.kernel.spawn_process("zone_serv0")
+    proc.address_space.mmap(64, tag="heap")
+    establish_clients(cluster, node, proc, 27960, 3)
+    run_for(cluster, 0.2)
+    install_migd(dest)
+
+    def killer():
+        if kill_on_freeze:
+            while not proc.is_frozen:
+                yield cluster.env.timeout(0.0002)
+        else:
+            yield cluster.env.timeout(0.1)
+        kill_migd(dest)
+
+    cluster.env.process(killer())
+    ev = migrate_process(node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0))
+    report = cluster.env.run(until=ev)
+    assert not report.success
+    return tracer, report, proc
+
+
+def names(sl):
+    return [e.name for e in sl.events]
+
+
+class TestRollbackTraces:
+    def test_death_mid_precopy(self, two_nodes):
+        tracer, report, proc = traced_failed_migration(two_nodes, kill_on_freeze=False)
+        (sl,) = migration_slices(tracer.events)
+        assert sl.succeeded is False
+        assert sl.terminal.name == "mig.abort"
+        assert sl.terminal.fields["frozen"] is False
+        assert "mig.rollback.start" in names(sl)
+        # Nothing was frozen or subtracted yet: no thaw, no re-enables.
+        assert "mig.rollback.thaw" not in names(sl)
+        assert "mig.rollback.reenable_socket" not in names(sl)
+        assert not proc.is_frozen
+
+    def test_death_at_freeze_reenables_and_thaws(self, two_nodes):
+        tracer, report, proc = traced_failed_migration(two_nodes, kill_on_freeze=True)
+        (sl,) = migration_slices(tracer.events)
+        assert sl.succeeded is False
+        assert sl.terminal.fields["frozen"] is True
+        seq = names(sl)
+        assert "mig.rollback.start" in seq
+        # Every subtracted socket is re-enabled, and the frozen process
+        # is thawed back to life on the source.
+        reenables = [e for e in sl.events if e.name == "mig.rollback.reenable_socket"]
+        subtracted = [e for e in sl.events if e.name == "sock.subtract"]
+        assert len(reenables) == len(subtracted) > 0
+        assert "mig.rollback.thaw" in seq
+        # Rollback events land inside the slice: start before terminal.
+        assert seq.index("mig.rollback.start") < seq.index("mig.abort")
+        assert not proc.is_frozen
+
+    def test_db_peer_filter_retraction_traced(self, cluster):
+        """Kill at freeze with an in-cluster DB session: the rollback
+        retracts the translation filter installed on the DB host."""
+        from repro.core import install_transd
+        from repro.testing import connect_local_tcp
+
+        tracer = cluster.env.enable_tracing()
+        node, dest = cluster.nodes[0], cluster.nodes[1]
+        proc = node.kernel.spawn_process("zone_serv0")
+        proc.address_space.mmap(32, tag="heap")
+        transd = install_transd(cluster.db)
+        db_proc = cluster.db.kernel.spawn_process("mysqld")
+        connect_local_tcp(cluster, node, proc, cluster.db, db_proc, 3306)
+        install_migd(dest)
+
+        def killer():
+            while not proc.is_frozen:
+                yield cluster.env.timeout(0.0002)
+            kill_migd(dest)
+
+        cluster.env.process(killer())
+        ev = migrate_process(node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0))
+        report = cluster.env.run(until=ev)
+        assert not report.success
+        run_for(cluster, 0.5)
+
+        (sl,) = migration_slices(tracer.events)
+        retractions = [
+            e for e in sl.events if e.name == "mig.rollback.retract_filter"
+        ]
+        assert retractions, "filter retraction must be traced"
+        assert transd.rules() == []  # and it actually happened
+        # The global stream also recorded the transd side of the story.
+        all_names = [e.name for e in tracer.events]
+        assert "transd.remove" in all_names
+
+    def test_failed_report_freeze_time_none(self, two_nodes):
+        _tracer, report, _proc = traced_failed_migration(
+            two_nodes, kill_on_freeze=True
+        )
+        assert report.frozen_at > 0.0
+        assert report.thawed_at == 0.0
+        assert report.freeze_time is None  # regression: never negative

@@ -1,0 +1,133 @@
+"""End-to-end tracing of successful migrations: the trace must be a
+*self-consistent* account — per-phase byte sums recomputed purely from
+trace records reconcile exactly with the MigrationReport counters, for
+every socket-migration strategy."""
+
+import pytest
+
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.obs import (
+    migration_slices,
+    phase_byte_sums,
+    read_jsonl,
+    render_timeline,
+    render_trace_summary,
+    trace_to_jsonl,
+    write_jsonl,
+)
+from repro.obs.cli import main as trace_main
+from repro.testing import establish_clients, run_for
+
+STRATEGIES = ("iterative", "collective", "incremental-collective")
+
+
+def traced_migration(cluster, strategy):
+    tracer = cluster.env.enable_tracing()
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv0")
+    proc.address_space.mmap(64, tag="heap")
+    establish_clients(cluster, node, proc, 27960, 4)
+    run_for(cluster, 0.2)
+    ev = migrate_process(
+        node, cluster.nodes[1], proc, LiveMigrationConfig(strategy=strategy)
+    )
+    report = cluster.env.run(until=ev)
+    return tracer, report
+
+
+class TestByteReconciliation:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_trace_bytes_match_report_exactly(self, two_nodes, strategy):
+        tracer, report = traced_migration(two_nodes, strategy)
+        assert report.success
+        (sl,) = migration_slices(tracer.events)
+        assert sl.succeeded is True
+        assert sl.strategy == strategy
+        sums = phase_byte_sums(sl)
+        b = report.bytes
+        assert sums["precopy_pages"] == b.precopy_pages
+        assert sums["precopy_vmas"] == b.precopy_vmas
+        assert sums["precopy_sockets"] == b.precopy_sockets
+        assert sums["freeze_pages"] == b.freeze_pages
+        assert sums["freeze_vmas"] == b.freeze_vmas
+        assert sums["freeze_sockets"] == b.freeze_sockets
+        assert sums["freeze_files"] == b.freeze_files
+        assert sums["freeze_threads"] == b.freeze_threads
+        assert sums["capture_requests"] == b.capture_requests
+
+    def test_round_spans_match_report_rounds(self, two_nodes):
+        tracer, report = traced_migration(two_nodes, "incremental-collective")
+        (sl,) = migration_slices(tracer.events)
+        rounds = sl.spans("mig.precopy.round")
+        assert len(rounds) == report.precopy_rounds
+        assert all(s.end is not None for s in rounds)
+
+    def test_freeze_interval_matches_downtime(self, two_nodes):
+        tracer, report = traced_migration(two_nodes, "collective")
+        (sl,) = migration_slices(tracer.events)
+        (enter,) = [e for e in sl.events if e.name == "mig.freeze.enter"]
+        (thaw,) = [e for e in sl.events if e.name == "migd.thaw"]
+        assert thaw.time - enter.time == pytest.approx(report.freeze_time)
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_preserves_stream(self, two_nodes, tmp_path):
+        tracer, _report = traced_migration(two_nodes, "incremental-collective")
+        path = write_jsonl(tmp_path / "sub" / "trace.jsonl", tracer)
+        back = read_jsonl(path)
+        assert len(back) == len(tracer.events)
+        assert [e.name for e in back] == [e.name for e in tracer.events]
+        assert [e.time for e in back] == [e.time for e in tracer.events]
+        # Reconciliation survives the round trip.
+        (a,) = migration_slices(tracer.events)
+        (b,) = migration_slices(back)
+        assert phase_byte_sums(a) == phase_byte_sums(b)
+
+    def test_non_json_fields_are_stringified(self, two_nodes):
+        import json
+
+        tracer, _report = traced_migration(two_nodes, "iterative")
+        for line in trace_to_jsonl(tracer).splitlines():
+            json.loads(line)  # every line must parse
+
+
+class TestRendering:
+    def test_timeline_and_summary(self, two_nodes):
+        tracer, report = traced_migration(two_nodes, "incremental-collective")
+        timeline = render_timeline(tracer.events)
+        assert "mig.start" in timeline
+        assert "mig.freeze.enter" in timeline
+        assert "success" in timeline
+        summary = render_trace_summary(tracer.events)
+        assert "incremental-collective" in summary
+        assert str(report.pid) in summary
+
+    def test_timeline_row_elision(self, two_nodes):
+        tracer, _report = traced_migration(two_nodes, "iterative")
+        out = render_timeline(tracer.events, max_rows=5)
+        assert "rows elided" in out
+
+    def test_empty_stream(self):
+        assert "no migrations" in render_timeline([])
+        assert "no migrations" in render_trace_summary([])
+
+
+class TestTraceCli:
+    def test_cli_renders_file(self, two_nodes, tmp_path, capsys):
+        tracer, _report = traced_migration(two_nodes, "collective")
+        path = write_jsonl(tmp_path / "trace.jsonl", tracer)
+        assert trace_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "mig.start" in out
+
+    def test_cli_summary_only(self, two_nodes, tmp_path, capsys):
+        tracer, _report = traced_migration(two_nodes, "collective")
+        path = write_jsonl(tmp_path / "trace.jsonl", tracer)
+        assert trace_main([str(path), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "mig.start" not in out
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        assert trace_main([str(tmp_path / "nope.jsonl")]) == 2

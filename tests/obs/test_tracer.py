@@ -1,0 +1,120 @@
+"""Unit tests for the tracer substrate: events, spans, null tracer."""
+
+import pytest
+
+from repro.des import Environment
+from repro.obs import NULL_TRACER, Span, TraceEvent, Tracer
+from repro.obs.tracer import assemble_spans, iter_point_events
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestTracer:
+    def test_point_event_stamped_with_sim_time(self, env):
+        tr = env.enable_tracing()
+        env.timeout(2.5).callbacks.append(lambda e: tr.event("tick", n=1))
+        env.run()
+        (ev,) = tr.events
+        assert ev.time == 2.5
+        assert ev.name == "tick"
+        assert ev.kind == "event"
+        assert ev.fields == {"n": 1}
+
+    def test_field_named_name_is_allowed(self, env):
+        # 'name' is positional-only so it can also be a field key.
+        tr = env.enable_tracing()
+        tr.event("mig.start", name="zone_serv0")
+        assert tr.events[0].fields["name"] == "zone_serv0"
+
+    def test_begin_end_pairs_into_span(self, env):
+        tr = env.enable_tracing()
+        sid = tr.begin("phase", round=0)
+        env.timeout(1.0)
+        env.run()
+        tr.end(sid, nbytes=100)
+        (span,) = tr.spans()
+        assert span.name == "phase"
+        assert span.duration == pytest.approx(1.0)
+        # Fields from both edges are merged.
+        assert span.fields == {"round": 0, "nbytes": 100}
+
+    def test_unclosed_span_has_no_end(self, env):
+        tr = env.enable_tracing()
+        tr.begin("phase")
+        (span,) = tr.spans()
+        assert span.end is None
+        assert span.duration is None
+
+    def test_span_context_manager(self, env):
+        tr = env.enable_tracing()
+        with tr.span("work", x=1):
+            pass
+        (span,) = tr.spans("work")
+        assert span.end is not None
+
+    def test_span_context_manager_records_error(self, env):
+        tr = env.enable_tracing()
+        with pytest.raises(RuntimeError):
+            with tr.span("work"):
+                raise RuntimeError("boom")
+        (span,) = tr.spans()
+        assert "RuntimeError: boom" in span.fields["error"]
+
+    def test_named_and_clear(self, env):
+        tr = env.enable_tracing()
+        tr.event("a")
+        tr.event("b")
+        tr.event("a")
+        assert len(tr.named("a")) == 2
+        assert len(tr) == 3
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_custom_tracer_instance(self, env):
+        mine = Tracer(env)
+        assert env.enable_tracing(mine) is mine
+        assert env.tracer is mine
+
+    def test_disable_restores_null(self, env):
+        env.enable_tracing()
+        env.disable_tracing()
+        assert env.tracer is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_default_and_noop(self, env):
+        assert env.tracer is NULL_TRACER
+        assert not env.tracer.enabled
+        env.tracer.event("x", a=1)
+        sid = env.tracer.begin("y")
+        env.tracer.end(sid)
+        with env.tracer.span("z"):
+            pass
+        assert len(env.tracer) == 0
+        assert env.tracer.events == []
+        assert env.tracer.spans() == []
+        assert env.tracer.named("x") == []
+
+
+class TestEventSerialization:
+    def test_round_trip(self):
+        ev = TraceEvent(1.5, "mig.start", "event", None, {"pid": 7})
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+    def test_span_edges_round_trip(self):
+        b = TraceEvent(1.0, "phase", "begin", 3, {})
+        e = TraceEvent(2.0, "phase", "end", 3, {"n": 1})
+        events = [TraceEvent.from_dict(x.to_dict()) for x in (b, e)]
+        (span,) = assemble_spans(events)
+        assert span == Span("phase", 3, 1.0, 2.0, {"n": 1})
+
+    def test_iter_point_events_skips_edges(self):
+        events = [
+            TraceEvent(0.0, "p", "begin", 1, {}),
+            TraceEvent(0.5, "x", "event", None, {}),
+            TraceEvent(1.0, "p", "end", 1, {}),
+        ]
+        assert [e.name for e in iter_point_events(events)] == ["x"]

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import build_cluster
 from repro.net import Endpoint
-from repro.openarena import GameClient, GameServerConfig, OpenArenaServer, join_clients
+from repro.openarena import GameClient, OpenArenaServer, join_clients
 from repro.testing import run_for
 
 

@@ -6,7 +6,6 @@ from repro.des import Environment
 from repro.oskern import (
     FDTable,
     Host,
-    Kernel,
     ProcessState,
     RegularFile,
     SocketFile,

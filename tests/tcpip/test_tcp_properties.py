@@ -1,6 +1,5 @@
 """Property-based tests of the TCP receive state machine."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import build_cluster

@@ -5,7 +5,6 @@ Every experiment harness relies on this — EXPERIMENTS.md quotes absolute
 numbers that must regenerate bit-identically on any machine.
 """
 
-import pytest
 
 from repro.analysis.fig5bc import SweepConfig, _one_migration
 from repro.dve import DVEScenario, DVEScenarioConfig, MovementConfig, ZoneServerConfig
