@@ -1,6 +1,8 @@
 """The paper's contribution: process live migration optimized for
 processes with massive numbers of network connections.
 
+- :mod:`session` — first-class migration sessions: identity, state
+  machine, channel/report ownership and the rollback path;
 - :mod:`precopy` — the live-migration engine (incremental checkpointing
   with a shrinking loop timeout; freeze-phase barrier/leader protocol);
 - :mod:`strategies` — iterative / collective / incremental-collective
@@ -19,6 +21,7 @@ processes with massive numbers of network connections.
 from .capture import CaptureFilter, CaptureService, capture_key_for, install_capture_service
 from .migd import MIGD_PORT, MigrationChannel, MigrationDaemon, install_migd
 from .precopy import LiveMigrationConfig, LiveMigrationEngine, migrate_process
+from .session import MigrationSession, SessionId, SessionState
 from .sockmig import (
     SocketRecord,
     SocketStaging,
@@ -47,6 +50,9 @@ __all__ = [
     "LiveMigrationConfig",
     "LiveMigrationEngine",
     "migrate_process",
+    "MigrationSession",
+    "SessionId",
+    "SessionState",
     "MigrationReport",
     "PhaseBytes",
     "SocketMigrationStrategy",

@@ -8,6 +8,12 @@ restores the process — address space, files, threads, sockets (with
 jiffies-delta timestamp adjustment), reinjects captured packets and
 adopts the process into its kernel.
 
+Inbound staging is keyed by *session*: the ``session`` wire field when
+present (``source>dest#pid``), else ``(source_ip, pid)``.  Either way
+two sources migrating equal-pid processes to one destination stage into
+separate buffers, and interleaved rounds/freezes from multiple
+concurrent migrations cannot corrupt each other.
+
 Bulk transfers are chunked onto the control plane so they occupy real
 link time ahead of the request that completes them; acknowledgements
 therefore arrive only after the data has crossed the wire.
@@ -21,7 +27,7 @@ from typing import Any, Optional
 from ..des import Event
 from ..oskern.node import Host
 from .capture import CaptureService, install_capture_service
-from .sockmig import SocketStaging, restore_sockets
+from .sockmig import SocketStaging, disable_socket, reenable_socket, restore_sockets
 
 __all__ = ["MIGD_PORT", "MigrationChannel", "MigrationDaemon", "install_migd"]
 
@@ -29,28 +35,54 @@ MIGD_PORT = 7100
 
 
 class MigrationChannel:
-    """Source-side sender of sized bulk messages to a peer migd."""
+    """Source-side sender of sized bulk messages to a peer migd.
 
-    def __init__(self, source: Host, dest: Host, rpc_timeout: Optional[float] = None) -> None:
+    One channel per migration session; every body (and padding chunk)
+    it emits is tagged with the session id so the destination stages by
+    session and traces/metrics can attribute wire bytes per session.
+    """
+
+    def __init__(
+        self,
+        source: Host,
+        dest: Host,
+        rpc_timeout: Optional[float] = None,
+        session: Optional[str] = None,
+    ) -> None:
         self.source = source
         self.dest = dest
         self.costs = source.kernel.costs
         self.rpc_timeout = rpc_timeout
+        self.session = session
         self.bytes_sent = 0
+        metrics = source.env.metrics
+        if metrics is not None and session is not None:
+            metrics.gauge(f"channel.{session}.bytes_sent", fn=lambda: self.bytes_sent)
+
+    def _stream(self, body: dict, nbytes: int) -> int:
+        """Tag ``body`` with the session id, emit the padding chunks
+        that occupy the FIFO link ahead of it, account the bytes, and
+        return the size of the final message that carries ``body``."""
+        if self.session is not None:
+            body.setdefault("session", self.session)
+        chunk = self.costs.migration_chunk_bytes
+        remaining = max(nbytes, 1)
+        while remaining > chunk:
+            filler: dict = {"op": "chunk"}
+            if self.session is not None:
+                filler["session"] = self.session
+            self.source.control.send(
+                self.dest.local_ip, MIGD_PORT, filler, size=chunk
+            )
+            remaining -= chunk
+        self.bytes_sent += max(nbytes, 1)
+        return remaining
 
     def request(self, body: dict, nbytes: int) -> Event:
         """Send ``body`` accounted as ``nbytes`` on the wire; the event
         succeeds with the reply once the destination has processed it,
         or fails with RpcError after the channel timeout."""
-        chunk = self.costs.migration_chunk_bytes
-        remaining = max(nbytes, 1)
-        # Padding chunks occupy the FIFO link ahead of the request.
-        while remaining > chunk:
-            self.source.control.send(
-                self.dest.local_ip, MIGD_PORT, {"op": "chunk"}, size=chunk
-            )
-            remaining -= chunk
-        self.bytes_sent += max(nbytes, 1)
+        remaining = self._stream(body, nbytes)
         return self.source.control.rpc(
             self.dest.local_ip,
             MIGD_PORT,
@@ -62,29 +94,27 @@ class MigrationChannel:
     def send(self, body: dict, nbytes: int) -> None:
         """One-way sized message; FIFO link order guarantees the peer
         processes it before any later :meth:`request` completes."""
-        chunk = self.costs.migration_chunk_bytes
-        remaining = max(nbytes, 1)
-        while remaining > chunk:
-            self.source.control.send(
-                self.dest.local_ip, MIGD_PORT, {"op": "chunk"}, size=chunk
-            )
-            remaining -= chunk
-        self.bytes_sent += max(nbytes, 1)
+        remaining = self._stream(body, nbytes)
         self.source.control.send(self.dest.local_ip, MIGD_PORT, body, size=remaining)
 
 
 @dataclass
 class _Inbound:
-    """Destination-side staging for one in-flight migration."""
+    """Destination-side staging for one in-flight migration session."""
 
+    key: Any
     pid: int
     name: str
     source_ip: Any
+    session: Optional[str] = None
     staged_pages: dict[int, int] = field(default_factory=dict)
     staged_vmas: Optional[list] = None
     sockets: SocketStaging = field(default_factory=SocketStaging)
     capture_keys: list = field(default_factory=list)
     rounds_received: int = 0
+    #: Set when an ``abort`` arrives; in-flight capture/restore work for
+    #: this session checks it after every yield and backs out.
+    aborted: bool = False
 
 
 class MigrationDaemon:
@@ -94,7 +124,7 @@ class MigrationDaemon:
         self.host = host
         self.env = host.env
         self.capture: CaptureService = install_capture_service(host)
-        self._inbound: dict[int, _Inbound] = {}
+        self._inbound: dict[Any, _Inbound] = {}
         self.migrations_completed = 0
         host.control.register(MIGD_PORT, self._handle)
         metrics = host.env.metrics
@@ -112,13 +142,18 @@ class MigrationDaemon:
         if op == "chunk":
             return  # bulk padding: link time only
         if op == "begin":
-            self._inbound[body["pid"]] = _Inbound(
-                pid=body["pid"], name=body["name"], source_ip=src_ip
+            key = self._staging_key(body, src_ip)
+            self._inbound[key] = _Inbound(
+                key=key,
+                pid=body["pid"],
+                name=body["name"],
+                source_ip=src_ip,
+                session=body.get("session"),
             )
             if respond:
                 respond({"ok": True})
         elif op == "round":
-            st = self._staging(body["pid"])
+            st = self._staging(body, src_ip)
             st.staged_pages.update(body.get("pages", {}))
             if body.get("vmas") is not None:
                 st.staged_vmas = body["vmas"]
@@ -130,6 +165,7 @@ class MigrationDaemon:
                 tr.event(
                     "migd.stage",
                     pid=body["pid"],
+                    session=st.session,
                     phase="round",
                     records=len(records),
                     staged_pages=len(st.staged_pages),
@@ -137,63 +173,104 @@ class MigrationDaemon:
             if respond:
                 respond({"ok": True})
         elif op == "capture":
-            self.env.process(self._do_capture(body, respond), name="migd-capture")
+            self.env.process(self._do_capture(body, src_ip, respond), name="migd-capture")
         elif op == "sockets":
-            st = self._staging(body["pid"])
+            st = self._staging(body, src_ip)
             st.sockets.apply_all(body["records"])
             tr = self.env.tracer
             if tr.enabled:
                 tr.event(
                     "migd.stage",
                     pid=body["pid"],
+                    session=st.session,
                     phase="freeze",
                     records=len(body["records"]),
                 )
             if respond:
                 respond({"ok": True})
         elif op == "freeze":
-            self.env.process(self._do_restore(body, respond), name="migd-restore")
+            self.env.process(self._do_restore(body, src_ip, respond), name="migd-restore")
         elif op == "abort":
-            self._abort(body["pid"])
+            self._abort(self._staging_key(body, src_ip))
             if respond:
                 respond({"ok": True})
         else:
             if respond:
                 respond(f"migd: unknown op {op!r}", error=True)
 
-    def _staging(self, pid: int) -> _Inbound:
-        try:
-            return self._inbound[pid]
-        except KeyError:
-            raise RuntimeError(f"migd on {self.host.name}: no inbound migration for pid {pid}") from None
+    def _staging_key(self, body: dict, src_ip) -> Any:
+        """Session id string when present, else ``(source_ip, pid)`` —
+        never the bare pid, so equal pids from different sources (or
+        different routes) cannot collide."""
+        session = body.get("session")
+        if session is not None:
+            return session
+        return (str(src_ip), body["pid"])
 
-    def _abort(self, pid: int) -> None:
-        st = self._inbound.pop(pid, None)
-        if st is not None and st.capture_keys:
+    def _staging(self, body: dict, src_ip) -> _Inbound:
+        key = self._staging_key(body, src_ip)
+        try:
+            return self._inbound[key]
+        except KeyError:
+            raise RuntimeError(
+                f"migd on {self.host.name}: no inbound migration for pid "
+                f"{body['pid']} (key {key!r})"
+            ) from None
+
+    def inbound_for(self, pid: int) -> list[_Inbound]:
+        """All in-flight staging buffers for a pid (test/debug helper)."""
+        return [st for st in self._inbound.values() if st.pid == pid]
+
+    def _abort(self, key: Any) -> None:
+        st = self._inbound.pop(key, None)
+        if st is None:
+            return
+        st.aborted = True
+        if st.capture_keys:
             self.capture.disable(st.capture_keys)
+            st.capture_keys.clear()
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "migd.abort", pid=st.pid, session=st.session, node=self.host.name
+            )
 
     # -- capture enable ------------------------------------------------------------
-    def _do_capture(self, body: dict, respond):
-        st = self._staging(body["pid"])
+    def _do_capture(self, body: dict, src_ip, respond):
+        st = self._staging(body, src_ip)
         keys = body["keys"]
         costs = self.host.kernel.costs
         yield self.env.timeout(costs.capture_install_cost * max(1, len(keys)))
+        if st.aborted:
+            # An abort raced the filter install: enable nothing.
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "migd.capture.skipped", pid=st.pid, session=st.session, keys=len(keys)
+                )
+            if respond:
+                respond("migd: session aborted during capture install", error=True)
+            return
         self.capture.enable(keys)
         st.capture_keys.extend(keys)
         tr = self.env.tracer
         if tr.enabled:
-            tr.event("migd.capture.enable", pid=body["pid"], keys=len(keys))
+            tr.event(
+                "migd.capture.enable", pid=body["pid"], session=st.session, keys=len(keys)
+            )
         if respond:
             respond({"ok": True, "installed": len(keys)})
 
     # -- the freeze-phase restore ---------------------------------------------------
-    def _do_restore(self, body: dict, respond):
+    def _do_restore(self, body: dict, src_ip, respond):
         from ..blcr import apply_image_state
 
         pid = body["pid"]
-        st = self._staging(pid)
+        st = self._staging(body, src_ip)
         tr = self.env.tracer
-        restore_span = tr.begin("migd.restore", pid=pid) if tr.enabled else 0
+        restore_span = (
+            tr.begin("migd.restore", pid=pid, session=st.session) if tr.enabled else 0
+        )
         image = body["image"]
         proc = body["proc"]
         originals = body.get("originals") or {}
@@ -207,6 +284,11 @@ class MigrationDaemon:
         )
         n_final_pages = len(image.section("pages").payload) if image.has_section("pages") else 0
         yield self.env.timeout(costs.page_dump_cost * n_final_pages)
+        if st.aborted:
+            # The source rolled back while memory state was being
+            # applied; no sockets are restored yet, nothing to undo.
+            self._back_out_restore(st, None, proc, respond, restore_span)
+            return
 
         # Restore sockets with the jiffies-delta timestamp adjustment.
         jiffies_delta = kernel.jiffies.jiffies - image.source_jiffies
@@ -230,6 +312,9 @@ class MigrationDaemon:
                 else costs.udp_restore_cost
             )
         yield self.env.timeout(restore_cost)
+        if st.aborted:
+            self._back_out_restore(st, restored, proc, respond, restore_span)
+            return
 
         # Reinject captured packets through okfn() (Section V-B).
         reinjected = 0
@@ -237,6 +322,9 @@ class MigrationDaemon:
         reinject_cpu = sum(self.capture.reinject_cost(k) for k in keys)
         if reinject_cpu:
             yield self.env.timeout(reinject_cpu)
+            if st.aborted:
+                self._back_out_restore(st, restored, proc, respond, restore_span)
+                return
         captured_total = sum(self.capture.queue_length(k) for k in keys)
         for key in keys:
             reinjected += self.capture.reinject(key)
@@ -244,6 +332,7 @@ class MigrationDaemon:
             tr.event(
                 "capture.reinject",
                 pid=pid,
+                session=st.session,
                 captured=captured_total,
                 reinjected=reinjected,
             )
@@ -252,13 +341,13 @@ class MigrationDaemon:
         kernel.adopt_process(proc)
         proc.thaw()
         if tr.enabled:
-            tr.event("migd.thaw", pid=pid, node=self.host.name)
+            tr.event("migd.thaw", pid=pid, session=st.session, node=self.host.name)
             tr.end(
                 restore_span,
                 restored_sockets=len(restored),
                 jiffies_delta=jiffies_delta,
             )
-        self._inbound.pop(pid, None)
+        self._inbound.pop(st.key, None)
         self.migrations_completed += 1
         if respond:
             respond(
@@ -270,6 +359,29 @@ class MigrationDaemon:
                     "jiffies_delta": jiffies_delta,
                 }
             )
+
+    def _back_out_restore(self, st: _Inbound, restored, proc, respond, restore_span):
+        """An abort raced the in-flight restore: never adopt the process,
+        and hand any already-restored sockets back to the source stack
+        (the source's rollback has re-registered the process there)."""
+        if restored:
+            source_stack = proc.kernel.stack
+            for sock in restored:
+                disable_socket(sock)  # out of this node's tables
+                sock.stack = source_stack
+                reenable_socket(sock)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "migd.restore.aborted",
+                pid=st.pid,
+                session=st.session,
+                node=self.host.name,
+                restored_sockets=len(restored or ()),
+            )
+            tr.end(restore_span, aborted=True)
+        if respond:
+            respond("migd: session aborted during restore", error=True)
 
 
 def install_migd(host: Host) -> MigrationDaemon:

@@ -23,10 +23,9 @@ from ..blcr.checkpoint import VMA_RECORD_BYTES
 from ..des import Process
 from ..oskern import RpcError, SimProcess
 from ..oskern.node import Host
-from .migd import MIGD_PORT, MigrationChannel, install_migd
-from .sockmig import SocketTracker
-from .stats import MigrationReport
-from .strategies import MigrationContext, SocketMigrationStrategy, make_strategy
+from .migd import install_migd
+from .session import MigrationSession, SessionState
+from .strategies import SocketMigrationStrategy, make_strategy
 from .tracking import VMATracker
 
 __all__ = ["LiveMigrationConfig", "LiveMigrationEngine", "migrate_process"]
@@ -67,7 +66,11 @@ class LiveMigrationConfig:
 
 
 class LiveMigrationEngine:
-    """Source-side driver of one live migration."""
+    """Source-side driver of one :class:`MigrationSession`.
+
+    The session owns the migration's identity, channel, report and
+    rollback path; the engine advances the protocol (precopy rounds,
+    freeze, image transfer) and the session's state machine."""
 
     def __init__(
         self,
@@ -93,29 +96,19 @@ class LiveMigrationEngine:
         install_transd(source)
         install_transd(dest)
         self.strategy = make_strategy(self.config.strategy)
-        self.report = MigrationReport(
-            strategy=self.strategy.name,
-            source=source.name,
-            destination=dest.name,
-            pid=proc.pid,
-            process_name=proc.name,
-        )
-        self.channel = MigrationChannel(
-            source, dest, rpc_timeout=self.config.rpc_timeout
-        )
-        self.ctx = MigrationContext(
-            source=source,
-            dest=dest,
-            proc=proc,
-            channel=self.channel,
-            tracker=SocketTracker(self.costs),
-            report=self.report,
-            costs=self.costs,
+        self.session = MigrationSession(
+            source,
+            dest,
+            proc,
+            self.strategy,
             capture_enabled=self.config.capture_enabled,
             signal_based=self.config.signal_based,
             dump_user_queues=self.config.dump_user_queues,
             rpc_timeout=self.config.rpc_timeout,
         )
+        self.report = self.session.report
+        self.channel = self.session.channel
+        self.ctx = self.session.ctx
         self._vma_tracker = VMATracker()
 
     # -- public API -----------------------------------------------------------
@@ -131,11 +124,13 @@ class LiveMigrationEngine:
         space = proc.address_space
         report = self.report
         report.started_at = self.env.now
+        sid = self.session.label
         tr = self.env.tracer
         if tr.enabled:
             tr.event(
                 "mig.start",
                 pid=proc.pid,
+                session=sid,
                 name=proc.name,
                 strategy=self.strategy.name,
                 source=self.source.name,
@@ -158,6 +153,7 @@ class LiveMigrationEngine:
                 },
                 256,
             )
+            self.session.transition(SessionState.PRECOPY)
 
             # ---- precopy loop (helper thread, app keeps running) ----
             round_timeout = cfg.initial_round_timeout
@@ -166,7 +162,10 @@ class LiveMigrationEngine:
                 first = report.precopy_rounds == 0
                 round_span = (
                     tr.begin(
-                        "mig.precopy.round", pid=proc.pid, round=report.precopy_rounds
+                        "mig.precopy.round",
+                        pid=proc.pid,
+                        session=sid,
+                        round=report.precopy_rounds,
                     )
                     if tr.enabled
                     else 0
@@ -232,10 +231,16 @@ class LiveMigrationEngine:
                     sock.force_userspace()
             proc.freeze()
             report.frozen_at = self.env.now
+            self.session.transition(SessionState.FREEZE)
             if tr.enabled:
-                tr.event("mig.freeze.enter", pid=proc.pid)
+                tr.event("mig.freeze.enter", pid=proc.pid, session=sid)
             barrier_span = (
-                tr.begin("mig.freeze.barrier", pid=proc.pid, threads=len(proc.threads))
+                tr.begin(
+                    "mig.freeze.barrier",
+                    pid=proc.pid,
+                    session=sid,
+                    threads=len(proc.threads),
+                )
                 if tr.enabled
                 else 0
             )
@@ -287,6 +292,7 @@ class LiveMigrationEngine:
                 tr.event(
                     "mig.freeze.image",
                     pid=proc.pid,
+                    session=sid,
                     page_bytes=page_bytes,
                     vma_bytes=vma_bytes,
                     file_bytes=file_bytes,
@@ -296,9 +302,15 @@ class LiveMigrationEngine:
 
             # The process leaves this kernel: no residual dependencies.
             self.source.kernel.remove_process(proc)
+            self.session.transition(SessionState.RESTORING)
 
             transfer_span = (
-                tr.begin("mig.freeze.transfer", pid=proc.pid, nbytes=image.total_bytes)
+                tr.begin(
+                    "mig.freeze.transfer",
+                    pid=proc.pid,
+                    session=sid,
+                    nbytes=image.total_bytes,
+                )
                 if tr.enabled
                 else 0
             )
@@ -320,11 +332,13 @@ class LiveMigrationEngine:
             report.jiffies_delta = reply["jiffies_delta"]
             report.finished_at = self.env.now
             report.success = True
+            self.session.transition(SessionState.DONE)
             if tr.enabled:
                 tr.end(transfer_span)
                 tr.event(
                     "mig.complete",
                     pid=proc.pid,
+                    session=sid,
                     rounds=report.precopy_rounds,
                     freeze_time=report.freeze_time,
                     captured=report.packets_captured,
@@ -340,11 +354,12 @@ class LiveMigrationEngine:
             report.error = f"aborted: {exc}"
             report.finished_at = self.env.now
             report.success = False
-            self._rollback()
+            self.session.rollback()
             if tr.enabled:
                 tr.event(
                     "mig.abort",
                     pid=proc.pid,
+                    session=sid,
                     error=report.error,
                     frozen=report.frozen_at > 0.0,
                 )
@@ -379,14 +394,15 @@ class LiveMigrationEngine:
         # Tombstones + rule removal happen atomically (same instant):
         # any install arriving later is forwarded to the destination,
         # which closes the race when both endpoints migrate at once.
-        self._tombstone_keys = [
+        # The session keeps the bookkeeping for its rollback path.
+        self.session.tombstone_keys = [
             (local_port, remote_ip, remote_port)
             for remote_ip, remote_port, local_port in conn_keys
         ]
-        for tkey in self._tombstone_keys:
+        for tkey in self.session.tombstone_keys:
             source_transd.add_tombstone(tkey, self.dest.local_ip)
-        self._relocated_rules = source_transd.take_rules_for(conn_keys)
-        for rule in self._relocated_rules:
+        self.session.relocated_rules = source_transd.take_rules_for(conn_keys)
+        for rule in self.session.relocated_rules:
             yield self.source.control.rpc(
                 self.dest.local_ip,
                 TRANSD_PORT,
@@ -394,92 +410,17 @@ class LiveMigrationEngine:
                 size=96,
                 timeout=self.config.rpc_timeout,
             )
-        if self._tombstone_keys:
+        if self.session.tombstone_keys:
             # The process is (about to be) at the destination: clear any
             # stale departure records there so installs are not bounced
             # back on a return migration.
             yield self.source.control.rpc(
                 self.dest.local_ip,
                 TRANSD_PORT,
-                {"op": "arrived", "keys": self._tombstone_keys},
+                {"op": "arrived", "keys": self.session.tombstone_keys},
                 size=96,
                 timeout=self.config.rpc_timeout,
             )
-
-    # -- abort/rollback ---------------------------------------------------------
-    def _rollback(self) -> None:
-        """Restore the source node to its pre-migration state."""
-        from .sockmig import reenable_socket
-        from .translation import TRANSD_PORT, TranslationRule
-
-        proc = self.proc
-        kernel = self.source.kernel
-        tr = self.env.tracer
-        if tr.enabled:
-            tr.event("mig.rollback.start", pid=proc.pid)
-        # Best effort: tell the destination to drop its staging/filters.
-        self.source.control.send(
-            self.dest.local_ip, MIGD_PORT, {"op": "abort", "pid": proc.pid}
-        )
-        # Re-register the process if the freeze message already took it
-        # off this kernel.
-        if proc.pid not in kernel.processes:
-            proc.kernel = kernel
-            kernel.processes[proc.pid] = proc
-            kernel.cpu.adopt(proc)
-        # Rehash every socket that was already subtracted, and retract
-        # any translation filters pointing at the failed destination.
-        for sock in self.ctx.originals.values():
-            reenable_socket(sock)
-            if tr.enabled:
-                tr.event(
-                    "mig.rollback.reenable_socket",
-                    pid=proc.pid,
-                    local_port=sock.local.port,
-                    remote=str(sock.remote) if sock.remote is not None else None,
-                )
-            if self.ctx.is_local_peer(sock):
-                rule = TranslationRule(
-                    old_ip=sock.orig_local_ip or sock.local.ip,
-                    new_ip=self.dest.local_ip,
-                    mig_port=sock.local.port,
-                    peer_port=sock.remote.port,
-                )
-                self.source.control.send(
-                    sock.remote.ip, TRANSD_PORT, {"op": "remove", "rule": rule}, size=96
-                )
-                if tr.enabled:
-                    tr.event(
-                        "mig.rollback.retract_filter",
-                        pid=proc.pid,
-                        peer=str(sock.remote.ip),
-                        mig_port=sock.local.port,
-                    )
-        # Re-install any peer rules that were relocated to the failed
-        # destination, drop the departure records, and tell the failed
-        # node to discard its copies.
-        from .translation import install_transd
-
-        source_transd = install_transd(self.source)
-        for tkey in getattr(self, "_tombstone_keys", []):
-            source_transd.clear_tombstone(tkey)
-        for rule in getattr(self, "_relocated_rules", []):
-            source_transd.install(rule)
-            self.source.control.send(
-                self.dest.local_ip, TRANSD_PORT, {"op": "remove", "rule": rule}, size=96
-            )
-            if tr.enabled:
-                tr.event(
-                    "mig.rollback.retract_filter",
-                    pid=proc.pid,
-                    peer=str(self.dest.local_ip),
-                    mig_port=rule.mig_port,
-                )
-        if proc.is_frozen:
-            proc.thaw()
-            if tr.enabled:
-                tr.event("mig.rollback.thaw", pid=proc.pid)
-
 
 def migrate_process(
     source: Host,

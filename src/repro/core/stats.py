@@ -72,6 +72,9 @@ class MigrationReport:
     jiffies_delta: Optional[int] = None
     success: bool = False
     error: str = ""
+    #: Session id string (``source>dest#pid``); empty for reports built
+    #: outside a session (legacy callers).
+    session: str = ""
 
     @property
     def freeze_time(self) -> Optional[float]:

@@ -95,6 +95,9 @@ class MigrationContext:
     signal_based: bool = True
     dump_user_queues: bool = True
     rpc_timeout: Optional[float] = None
+    #: Session id string (``source>dest#pid``) carried by every wire
+    #: body and trace record of this migration; None for bare contexts.
+    session: Optional[str] = None
     #: flow_id -> source socket object, for in-place restore.
     originals: dict = field(default_factory=dict)
     #: (remote ip, remote port, local port) -> physical peer address,
@@ -158,7 +161,11 @@ class SocketMigrationStrategy:
         tr = ctx.env.tracer
         if tr.enabled:
             tr.event(
-                "capture.request", pid=ctx.proc.pid, keys=len(keys), nbytes=nbytes
+                "capture.request",
+                pid=ctx.proc.pid,
+                session=ctx.session,
+                keys=len(keys),
+                nbytes=nbytes,
             )
         yield ctx.channel.request(
             {"op": "capture", "pid": ctx.proc.pid, "keys": keys}, nbytes
@@ -193,6 +200,7 @@ class SocketMigrationStrategy:
                 tr.event(
                     "transd.request",
                     pid=ctx.proc.pid,
+                    session=ctx.session,
                     peer=str(physical),
                     mig_port=rule.mig_port,
                     peer_port=rule.peer_port,
@@ -238,6 +246,7 @@ class SocketMigrationStrategy:
             tr.event(
                 "sock.subtract",
                 pid=ctx.proc.pid,
+                session=ctx.session,
                 proto=rec.proto,
                 nbytes=rec.nbytes,
                 full=rec.full,

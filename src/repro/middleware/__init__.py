@@ -27,7 +27,7 @@ from .policies import (
     SelectionPolicy,
     TransferPolicy,
 )
-from .twophase import MigrationSlot
+from .twophase import MigrationAdmission, MigrationSlot
 
 __all__ = [
     "LoadInfo",
@@ -41,6 +41,7 @@ __all__ = [
     "SelectionPolicy",
     "LargestProcessSelectionPolicy",
     "InformationPolicy",
+    "MigrationAdmission",
     "MigrationSlot",
     "Conductor",
     "ConductorConfig",

@@ -28,7 +28,7 @@ from .policies import (
     SelectionPolicy,
     TransferPolicy,
 )
-from .twophase import MigrationSlot
+from .twophase import MigrationAdmission
 
 __all__ = ["CONDUCTOR_PORT", "ConductorConfig", "Conductor", "install_conductor"]
 
@@ -51,6 +51,10 @@ class ConductorConfig:
     calm_down: float = 10.0
     #: How many ranked receiver candidates to try per round.
     max_candidates: int = 3
+    #: Concurrent migration sessions this node admits (inbound and
+    #: outbound share the capacity).  1 = the paper's single slot; >1
+    #: lets the balance loop launch several sessions per round.
+    admission_capacity: int = 1
     #: Policy overrides (defaults: the paper's opposite-side-of-average
     #: location policy and difference-matched selection policy).
     location_policy: Optional[LocationPolicy] = None
@@ -70,6 +74,8 @@ class MigrationEvent:
     #: interval never completed — see ``MigrationReport.freeze_time``).
     freeze_time: Optional[float]
     success: bool
+    #: Session id string (``source>dest#pid``).
+    session: str = ""
 
 
 class Conductor:
@@ -91,7 +97,11 @@ class Conductor:
 
         self.monitor = LoadMonitor(host, interval=cfg.monitor_interval)
         self.peers = PeerDatabase(stale_timeout=cfg.peer_stale_timeout)
-        self.slot = MigrationSlot(self.env, calm_down=cfg.calm_down)
+        self.admission = MigrationAdmission(
+            self.env, capacity=cfg.admission_capacity, calm_down=cfg.calm_down
+        )
+        #: Processes with an outbound session in flight (batch mode).
+        self._outbound: set[SimProcess] = set()
         self.transfer = TransferPolicy(cfg.policies)
         self.location = cfg.location_policy or LocationPolicy(cfg.policies)
         self.selection = cfg.selection_policy or SelectionPolicy(cfg.policies)
@@ -121,6 +131,11 @@ class Conductor:
         self.env.process(self._discover(), name=f"cond-discover-{host.name}")
         self.env.process(self._heartbeat_loop(), name=f"cond-heartbeat-{host.name}")
         self.env.process(self._balance_loop(), name=f"cond-balance-{host.name}")
+
+    @property
+    def slot(self) -> MigrationAdmission:
+        """Back-compat name for the admission (capacity 1 = the slot)."""
+        return self.admission
 
     # -- management ------------------------------------------------------------
     def manage(self, proc: SimProcess) -> None:
@@ -165,7 +180,7 @@ class Conductor:
         elif op == "heartbeat":
             self.peers.update(body["info"])
         elif op == "reserve":
-            ok = self.slot.try_reserve(body["sender"])
+            ok = self.admission.try_reserve(body["sender"])
             if not ok:
                 self.reserve_rejections += 1
             tr = self.env.tracer
@@ -188,8 +203,8 @@ class Conductor:
                     sender=who,
                     committed=body.get("committed", True),
                 )
-            if self.slot.reserved_by == who:
-                self.slot.release(who, start_calm_down=body.get("committed", True))
+            if who in self.admission.holders:
+                self.admission.release(who, start_calm_down=body.get("committed", True))
             if body.get("committed") and body.get("pid") is not None:
                 proc = self.host.kernel.processes.get(body["pid"])
                 if proc is not None:
@@ -249,29 +264,68 @@ class Conductor:
             * self.config.check_interval
         )
         yield self.env.timeout(phase)
+        sequential = self.config.admission_capacity == 1
         while True:
             yield self.env.timeout(self.config.check_interval)
             if not self.enabled:
                 continue
-            if self.slot.busy or self.slot.calming or not self.peers.peers():
+            if self.admission.busy or self.admission.calming or not self.peers.peers():
                 continue
             local = self.monitor.current_load()
             average = self.peers.cluster_average(local)
             if not self.transfer.should_initiate(local, average):
                 continue
             target_diff = local - average
+            if sequential:
+                # Paper semantics: one migration per balance round, and
+                # the loop blocks until it finishes.
+                proc = self.selection.choose(
+                    max(target_diff, self.config.policies.min_share),
+                    self.monitor.process_shares(self.managed),
+                )
+                if proc is None:
+                    continue
+                candidates = self.location.choose(local, average, self.peers.peers())
+                yield from self._try_migrate(
+                    proc, candidates[: self.config.max_candidates]
+                )
+            else:
+                self._launch_batch(local, average, target_diff)
+
+    def _launch_batch(self, local: float, average: float, target_diff: float) -> None:
+        """Batch location/selection: launch up to ``admission.available``
+        concurrent sessions this round, repeatedly picking the process
+        that best matches the *remaining* excess over the average."""
+        remaining = target_diff
+        available = [p for p in self.managed if p not in self._outbound]
+        for _ in range(self.admission.available):
             proc = self.selection.choose(
-                max(target_diff, self.config.policies.min_share),
-                self.monitor.process_shares(self.managed),
+                max(remaining, self.config.policies.min_share),
+                self.monitor.process_shares(available),
             )
             if proc is None:
-                continue
+                return
             candidates = self.location.choose(local, average, self.peers.peers())
-            yield from self._try_migrate(proc, candidates[: self.config.max_candidates])
+            if not candidates:
+                return
+            shares = dict(self.monitor.process_shares([proc]))
+            remaining -= shares.get(proc, 0.0)
+            available.remove(proc)
+            self._outbound.add(proc)
+            self.env.process(
+                self._run_session(proc, candidates[: self.config.max_candidates]),
+                name=f"cond-session-{proc.pid}",
+            )
+
+    def _run_session(self, proc: SimProcess, candidates: list[LoadInfo]):
+        try:
+            yield from self._try_migrate(proc, candidates)
+        finally:
+            self._outbound.discard(proc)
 
     def _try_migrate(self, proc: SimProcess, candidates: list[LoadInfo]):
         me = self.host.name
-        if not self.slot.try_reserve(me):
+        if not self.admission.try_reserve(me):
             return
         for candidate in candidates:
             try:
@@ -289,18 +343,19 @@ class Conductor:
             # Phase 2: committed — run the live migration.
             dest = self.resolve_host(candidate.local_ip)
             self.migrations_initiated += 1
+            engine = LiveMigrationEngine(self.host, dest, proc, self.config.migration)
+            session = engine.session.label
             tr = self.env.tracer
             if tr.enabled:
                 tr.event(
                     "cond.decision",
                     node=me,
                     pid=proc.pid,
+                    session=session,
                     proc=proc.name,
                     dest=dest.name,
                 )
-            report: MigrationReport = yield LiveMigrationEngine(
-                self.host, dest, proc, self.config.migration
-            ).start()
+            report: MigrationReport = yield engine.start()
             self.unmanage(proc)
             self.events.append(
                 MigrationEvent(
@@ -311,6 +366,7 @@ class Conductor:
                     destination=dest.name,
                     freeze_time=report.freeze_time,
                     success=report.success,
+                    session=session,
                 )
             )
             self.host.control.send(
@@ -319,10 +375,10 @@ class Conductor:
                 {"op": "release", "sender": me, "committed": True, "pid": proc.pid},
                 size=96,
             )
-            self.slot.release(me, start_calm_down=True)
+            self.admission.release(me, start_calm_down=True)
             return
         # Nobody accepted: abort our own reservation without calm-down.
-        self.slot.release(me, start_calm_down=False)
+        self.admission.release(me, start_calm_down=False)
 
 
 def install_conductor(

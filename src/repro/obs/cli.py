@@ -4,6 +4,7 @@ Usage::
 
     repro-trace results/fig5b_n16_incremental-collective_rep0.jsonl
     repro-trace trace.jsonl --pid 1000 --timeline
+    repro-trace trace.jsonl --session 'node1>node2#1000' --timeline
     repro-trace trace.jsonl --summary
 
 With no mode flag both the summary table and the per-migration phase
@@ -30,6 +31,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("trace", type=Path, help="JSONL trace file")
     parser.add_argument(
         "--pid", type=int, default=None, help="only this process's migrations"
+    )
+    parser.add_argument(
+        "--session",
+        default=None,
+        help="only this migration session (id like 'node1>node2#1000')",
     )
     parser.add_argument(
         "--timeline", action="store_true", help="print only the phase timelines"
@@ -63,7 +69,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     if show_summary and show_timeline:
         print()
     if show_timeline:
-        print(render_timeline(events, pid=args.pid, max_rows=args.max_rows))
+        print(
+            render_timeline(
+                events, pid=args.pid, max_rows=args.max_rows, session=args.session
+            )
+        )
     return 0
 
 

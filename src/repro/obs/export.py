@@ -80,6 +80,9 @@ class MigrationSlice:
 
     pid: int
     start: TraceEvent
+    #: Session id string (``source>dest#pid``); None for traces from
+    #: before sessions existed.
+    session: Optional[str] = None
     events: list[TraceEvent] = field(default_factory=list)
     terminal: Optional[TraceEvent] = None
 
@@ -98,32 +101,40 @@ class MigrationSlice:
 
 
 def migration_slices(events: list[TraceEvent]) -> list[MigrationSlice]:
-    """Split a stream into per-migration slices.
+    """Split a stream into per-migration slices, grouped by session.
 
-    A record belongs to the open slice of its ``pid`` field.  Span end
-    edges usually carry no ``pid`` (only result fields), so they follow
-    the slice of their *begin* edge.  Other pid-less records (conductor
-    chatter, transd installs) are left out of every slice.
+    A record belongs to the open slice of its ``session`` field (the
+    ``source>dest#pid`` session id); records without one — traces from
+    before sessions existed, or raw-protocol exercises — fall back to
+    grouping by ``pid``.  Span end edges usually carry neither (only
+    result fields), so they follow the slice of their *begin* edge.
+    Other unattributable records (conductor chatter, transd installs)
+    are left out of every slice.
+
+    Session grouping is what keeps *concurrent* migrations apart: two
+    in-flight migrations of equal-pid processes land in two slices.
     """
-    open_by_pid: dict[int, MigrationSlice] = {}
-    #: span_id -> owning slice, for end edges without a pid field.
+    open_by_key: dict = {}
+    #: span_id -> owning slice, for end edges without a session/pid.
     span_owner: dict[int, MigrationSlice] = {}
     out: list[MigrationSlice] = []
     for ev in events:
         pid = ev.fields.get("pid")
+        session = ev.fields.get("session")
+        key = session if session is not None else pid
         if ev.name == MIG_START and pid is not None:
-            sl = MigrationSlice(pid=pid, start=ev)
+            sl = MigrationSlice(pid=pid, start=ev, session=session)
             sl.events.append(ev)
-            open_by_pid[pid] = sl
+            open_by_key[key] = sl
             out.append(sl)
             continue
-        if pid is None:
+        if key is None:
             if ev.kind == "end" and ev.span_id is not None:
                 sl = span_owner.pop(ev.span_id, None)
                 if sl is not None:
                     sl.events.append(ev)
             continue
-        sl = open_by_pid.get(pid)
+        sl = open_by_key.get(key)
         if sl is None:
             continue
         sl.events.append(ev)
@@ -131,7 +142,7 @@ def migration_slices(events: list[TraceEvent]) -> list[MigrationSlice]:
             span_owner[ev.span_id] = sl
         if ev.name in (MIG_COMPLETE, MIG_ABORT):
             sl.terminal = ev
-            del open_by_pid[pid]
+            del open_by_key[key]
     return out
 
 
@@ -169,7 +180,7 @@ def phase_byte_sums(sl: MigrationSlice) -> dict[str, int]:
     return sums
 
 
-def _fmt_fields(fields: dict, skip=("pid",)) -> str:
+def _fmt_fields(fields: dict, skip=("pid", "session")) -> str:
     parts = []
     for k, v in fields.items():
         if k in skip:
@@ -181,15 +192,21 @@ def _fmt_fields(fields: dict, skip=("pid",)) -> str:
 
 
 def render_timeline(
-    events: list[TraceEvent], pid: Optional[int] = None, max_rows: int = 200
+    events: list[TraceEvent],
+    pid: Optional[int] = None,
+    max_rows: int = 200,
+    session: Optional[str] = None,
 ) -> str:
     """Per-migration phase timelines: each record at its offset (ms)
-    from the migration's start, spans with their durations."""
+    from the migration's start, spans with their durations.  One block
+    per session, so interleaved concurrent migrations stay separate."""
     from ..analysis.report import render_table
 
     slices = migration_slices(events)
     if pid is not None:
         slices = [s for s in slices if s.pid == pid]
+    if session is not None:
+        slices = [s for s in slices if s.session == session]
     if not slices:
         return "(no migrations in trace)"
     blocks = []
@@ -219,9 +236,16 @@ def render_timeline(
         if dropped:
             rows = rows[: max_rows // 2] + rows[-(max_rows - max_rows // 2):]
         status = {True: "success", False: "aborted", None: "unfinished"}[sl.succeeded]
+        ident = (
+            f"session={sl.session}"
+            if sl.session is not None
+            else (
+                f"pid={sl.pid} "
+                f"{sl.start.fields.get('source', '?')}->{sl.start.fields.get('dest', '?')}"
+            )
+        )
         title = (
-            f"migration pid={sl.pid} strategy={sl.strategy} "
-            f"{sl.start.fields.get('source', '?')}->{sl.start.fields.get('dest', '?')} "
+            f"migration {ident} strategy={sl.strategy} "
             f"start={t0:.6f}s [{status}]"
             + (f" ({dropped} rows elided)" if dropped else "")
         )
@@ -257,6 +281,7 @@ def render_trace_summary(events: list[TraceEvent]) -> str:
         status = {True: "ok", False: "abort", None: "?"}[sl.succeeded]
         rows.append(
             [
+                sl.session if sl.session is not None else "-",
                 sl.pid,
                 sl.strategy,
                 f"{sl.start.fields.get('source', '?')}->{sl.start.fields.get('dest', '?')}",
@@ -272,6 +297,7 @@ def render_trace_summary(events: list[TraceEvent]) -> str:
         return "(no migrations in trace)"
     return render_table(
         [
+            "session",
             "pid",
             "strategy",
             "route",

@@ -2,9 +2,16 @@
 
 import pytest
 
-from repro.core import MIGD_PORT, MigrationChannel, install_migd
-from repro.oskern import RpcError
-from repro.testing import run_for
+from repro.cluster import build_cluster
+from repro.core import (
+    MIGD_PORT,
+    LiveMigrationConfig,
+    LiveMigrationEngine,
+    MigrationChannel,
+    install_migd,
+)
+from repro.oskern import CostModel, RpcError
+from repro.testing import establish_clients, run_for
 
 
 @pytest.fixture
@@ -50,6 +57,45 @@ class TestChannel:
         elapsed = done_at[0] - start
         assert 0.030 < elapsed < 0.045
 
+    @pytest.mark.parametrize("session", [None, "node1>node2#1"])
+    def test_bytes_sent_matches_wire_bytes_both_paths(self, pair, session):
+        """Channel accounting must equal the sizes actually handed to
+        the control plane, chunking included, for request() and send()."""
+        cluster, src, dst, daemon = pair
+        channel = MigrationChannel(src, dst, session=session)
+        wire = []
+        orig_send, orig_rpc = src.control.send, src.control.rpc
+
+        def spy_send(ip, port, body, size=256, **kw):
+            wire.append(size)
+            return orig_send(ip, port, body, size=size, **kw)
+
+        def spy_rpc(ip, port, body, size=256, **kw):
+            wire.append(size)
+            return orig_rpc(ip, port, body, size=size, **kw)
+
+        src.control.send, src.control.rpc = spy_send, spy_rpc
+        try:
+            chunk = src.kernel.costs.migration_chunk_bytes
+            nbytes = 3 * chunk + 777  # forces 3 padding chunks + remainder
+
+            def go():
+                yield channel.request(
+                    {"op": "begin", "pid": 1, "name": "p", "nthreads": 1}, nbytes
+                )
+                channel.send(
+                    {"op": "round", "pid": 1, "pages": {1: 1}, "vmas": None,
+                     "socket_records": []},
+                    nbytes,
+                )
+
+            cluster.env.process(go())
+            run_for(cluster, 0.1)
+        finally:
+            src.control.send, src.control.rpc = orig_send, orig_rpc
+        assert sum(wire) == 2 * nbytes
+        assert channel.bytes_sent == 2 * nbytes
+
     def test_one_way_send_is_fifo_before_request(self, pair):
         cluster, src, dst, daemon = pair
         channel = MigrationChannel(src, dst)
@@ -71,7 +117,7 @@ class TestChannel:
 
         cluster.env.process(go())
         run_for(cluster, 0.1)
-        inbound = daemon._inbound[3]
+        (inbound,) = daemon.inbound_for(3)
         # Both rounds were applied, in order.
         assert inbound.rounds_received == 2
         assert inbound.staged_pages == {1: 1, 2: 1}
@@ -117,7 +163,7 @@ class TestDaemonProtocol:
 
         cluster.env.process(go())
         run_for(cluster, 0.2)
-        assert 7 not in daemon._inbound
+        assert not daemon.inbound_for(7)
         assert daemon.capture.active_keys() == []
 
     def test_capture_install_charges_time(self, pair):
@@ -150,3 +196,107 @@ class TestDaemonProtocol:
     def test_install_idempotent(self, pair):
         cluster, src, dst, daemon = pair
         assert install_migd(dst) is daemon
+
+
+class TestConcurrentStaging:
+    def test_equal_pids_from_two_sources_stage_separately(self, cluster):
+        """Regression: staging used to be keyed by bare pid, so two
+        sources migrating equal-pid processes to one destination would
+        interleave rounds into a single corrupted buffer."""
+        a, b, dst = cluster.nodes
+        install_migd(a)
+        install_migd(b)
+        daemon = install_migd(dst)
+        chan_a = MigrationChannel(a, dst)  # no session: (source_ip, pid) keying
+        chan_b = MigrationChannel(b, dst)
+
+        def migrate(chan, marker):
+            yield chan.request(
+                {"op": "begin", "pid": 5, "name": f"p{marker}", "nthreads": 1}, 64
+            )
+            yield chan.request(
+                {"op": "round", "pid": 5, "pages": {1: marker}, "vmas": None,
+                 "socket_records": []},
+                64,
+            )
+            yield chan.request(
+                {"op": "round", "pid": 5, "pages": {2: marker}, "vmas": None,
+                 "socket_records": []},
+                64,
+            )
+
+        cluster.env.process(migrate(chan_a, 111))
+        cluster.env.process(migrate(chan_b, 222))
+        run_for(cluster, 0.2)
+        buffers = daemon.inbound_for(5)
+        assert len(buffers) == 2
+        staged = {st.source_ip: st.staged_pages for st in buffers}
+        assert staged[a.local_ip] == {1: 111, 2: 111}
+        assert staged[b.local_ip] == {1: 222, 2: 222}
+        assert all(st.rounds_received == 2 for st in buffers)
+
+
+class TestAbortRaces:
+    def test_abort_races_inflight_capture_install(self, pair):
+        """An abort arriving while migd-capture is still paying the
+        filter-install cost must leave no filter enabled."""
+        cluster, src, dst, daemon = pair
+        tracer = cluster.env.enable_tracing()
+        keys = [(None, 0, 20000 + i) for i in range(100)]
+
+        def go():
+            yield src.control.rpc(
+                dst.local_ip, MIGD_PORT,
+                {"op": "begin", "pid": 9, "name": "p", "nthreads": 1},
+            )
+            # One-way, back to back: the abort lands on the destination
+            # while the capture install is still mid-yield.
+            src.control.send(
+                dst.local_ip, MIGD_PORT, {"op": "capture", "pid": 9, "keys": keys}
+            )
+            src.control.send(dst.local_ip, MIGD_PORT, {"op": "abort", "pid": 9})
+
+        cluster.env.process(go())
+        run_for(cluster, 0.2)
+        assert daemon.capture.active_keys() == []
+        assert not daemon.inbound_for(9)
+        assert any(e.name == "migd.capture.skipped" for e in tracer.events)
+
+    def test_abort_races_inflight_restore(self):
+        """A source-side timeout (and rollback) while migd-restore is
+        mid-flight must not leave a half-adopted process: the back-out
+        hands every restored socket back to the source stack."""
+        cluster = build_cluster(
+            n_nodes=2,
+            with_db=False,
+            cost_model=CostModel(tcp_restore_cost=0.05),
+        )
+        tracer = cluster.env.enable_tracing()
+        node, dst = cluster.nodes
+        proc = node.kernel.spawn_process("srv")
+        proc.address_space.mmap(32)
+        listener, children, _clients = establish_clients(cluster, node, proc, 27960, 3)
+        # 4 TCP sockets x 50 ms restore >> the 50 ms rpc timeout: the
+        # engine gives up and rolls back while the restore is in-flight.
+        engine = LiveMigrationEngine(
+            node, dst, proc, LiveMigrationConfig(rpc_timeout=0.05)
+        )
+        daemon = install_migd(dst)
+        report = cluster.env.run(until=engine.start())
+        assert not report.success
+        run_for(cluster, 1.0)  # let the destination back out of the restore
+        # The process runs on the source only.
+        assert proc.pid in node.kernel.processes
+        assert proc.pid not in dst.kernel.processes
+        assert proc.kernel is node.kernel
+        assert not proc.is_frozen
+        # No staging, no capture filters, no dest-side socket state left.
+        assert not daemon.inbound_for(proc.pid)
+        assert daemon.capture.active_keys() == []
+        for sock in [listener, *children]:
+            assert sock.stack is node.stack
+            assert not sock.migrating
+        for child in children:
+            assert node.stack.tables.ehash_lookup(child.flow_key) is child
+            assert dst.stack.tables.ehash_lookup(child.flow_key) is None
+        assert any(e.name == "migd.restore.aborted" for e in tracer.events)

@@ -1,0 +1,149 @@
+"""Unit tests for the migration-session abstraction: identity, state
+machine, and ownership of the channel/report/context/rollback path."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import (
+    LiveMigrationConfig,
+    LiveMigrationEngine,
+    MigrationSession,
+    SessionId,
+    SessionState,
+    make_strategy,
+    migrate_process,
+)
+from repro.testing import establish_clients, run_for
+
+
+class TestSessionId:
+    def test_string_form(self):
+        sid = SessionId("node1", "node2", 1000)
+        assert str(sid) == "node1>node2#1000"
+        assert sid.key == ("node1", "node2", 1000)
+
+    def test_value_identity(self):
+        assert SessionId("a", "b", 1) == SessionId("a", "b", 1)
+        assert len({SessionId("a", "b", 1), SessionId("b", "a", 1)}) == 2
+
+
+def make_session(cluster):
+    src, dst = cluster.nodes[0], cluster.nodes[1]
+    proc = src.kernel.spawn_process("srv")
+    proc.address_space.mmap(8)
+    return MigrationSession(src, dst, proc, make_strategy("incremental-collective"))
+
+
+LIFECYCLE = (
+    SessionState.PRECOPY,
+    SessionState.FREEZE,
+    SessionState.RESTORING,
+    SessionState.DONE,
+)
+
+
+class TestStateMachine:
+    def test_full_lifecycle(self):
+        session = make_session(build_cluster(n_nodes=2, with_db=False))
+        assert session.state is SessionState.NEGOTIATING
+        assert not session.terminal
+        for state in LIFECYCLE:
+            session.transition(state)
+        assert session.state is SessionState.DONE
+        assert session.terminal
+
+    def test_illegal_transition_rejected(self):
+        session = make_session(build_cluster(n_nodes=2, with_db=False))
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            session.transition(SessionState.FREEZE)
+
+    def test_terminal_states_are_final(self):
+        session = make_session(build_cluster(n_nodes=2, with_db=False))
+        for state in LIFECYCLE:
+            session.transition(state)
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            session.transition(SessionState.ABORTED)
+
+    @pytest.mark.parametrize("steps", range(len(LIFECYCLE)))
+    def test_abort_allowed_from_any_live_state(self, steps):
+        session = make_session(build_cluster(n_nodes=2, with_db=False))
+        for state in LIFECYCLE[:steps]:
+            session.transition(state)
+        session.transition(SessionState.ABORTED)
+        assert session.terminal
+
+    def test_transitions_are_traced(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        tracer = cluster.env.enable_tracing()
+        session = make_session(cluster)
+        session.transition(SessionState.PRECOPY)
+        (ev,) = [e for e in tracer.events if e.name == "session.state"]
+        assert ev.fields["session"] == session.label
+        assert ev.fields["frm"] == "negotiating"
+        assert ev.fields["to"] == "precopy"
+
+
+class TestSessionOwnership:
+    def test_engine_exposes_session_owned_objects(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        src, dst = cluster.nodes
+        proc = src.kernel.spawn_process("srv")
+        proc.address_space.mmap(8)
+        engine = LiveMigrationEngine(src, dst, proc)
+        session = engine.session
+        assert engine.report is session.report
+        assert engine.channel is session.channel
+        assert engine.ctx is session.ctx
+        assert session.label == f"{src.name}>{dst.name}#{proc.pid}"
+        assert engine.report.session == session.label
+        assert engine.channel.session == session.label
+        assert engine.ctx.session == session.label
+
+    def test_successful_migration_walks_the_state_machine(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        tracer = cluster.env.enable_tracing()
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("srv")
+        proc.address_space.mmap(32)
+        establish_clients(cluster, node, proc, 27960, 2)
+        run_for(cluster, 0.2)
+        engine = LiveMigrationEngine(node, cluster.nodes[1], proc)
+        report = cluster.env.run(until=engine.start())
+        assert report.success
+        assert engine.session.state is SessionState.DONE
+        walked = [
+            e.fields["to"]
+            for e in tracer.events
+            if e.name == "session.state" and e.fields["session"] == engine.session.label
+        ]
+        assert walked == ["precopy", "freeze", "restoring", "done"]
+
+    def test_failed_migration_ends_aborted(self):
+        from repro.core import MIGD_PORT, install_migd
+
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        node, dst = cluster.nodes
+        proc = node.kernel.spawn_process("srv")
+        proc.address_space.mmap(32)
+        # Destination migd crashed before the migration: no answers.
+        install_migd(dst)
+        dst.control.unregister(MIGD_PORT)
+        engine = LiveMigrationEngine(
+            node, dst, proc, LiveMigrationConfig(rpc_timeout=0.05)
+        )
+        report = cluster.env.run(until=engine.start())
+        assert not report.success
+        assert engine.session.state is SessionState.ABORTED
+        # Rollback left the process runnable on the source.
+        assert proc.pid in node.kernel.processes
+        assert not proc.is_frozen
+
+    def test_report_carries_session_id(self):
+        cluster = build_cluster(n_nodes=2, with_db=False)
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("srv")
+        proc.address_space.mmap(16)
+        ev = migrate_process(node, cluster.nodes[1], proc)
+        report = cluster.env.run(until=ev)
+        assert report.success
+        assert report.session == f"node1>node2#{proc.pid}"

@@ -65,6 +65,58 @@ def run_scenario(gaps_ms, mig_delay_ms, strategy):
     return received, len(gaps_ms)
 
 
+def run_concurrent_scenario(gaps_ms, delay_a_ms, delay_b_ms):
+    """Two server processes on two nodes, each with one client, both
+    migrating to the same third node — possibly at the same time."""
+    cluster = build_cluster(n_nodes=3, with_db=False)
+    dst = cluster.nodes[2]
+    streams = []
+
+    for i, (node, delay_ms) in enumerate(
+        zip(cluster.nodes[:2], (delay_a_ms, delay_b_ms))
+    ):
+        proc = node.kernel.spawn_process(f"srv{i}")
+        area = proc.address_space.mmap(128)
+        _, children, clients = establish_clients(cluster, node, proc, 27960 + i, 1)
+        server, client = children[0], clients[0]
+        received = []
+        streams.append(received)
+
+        def reader(proc=proc, server=server, received=received):
+            while True:
+                yield from proc.check_frozen()
+                skb = yield server.recv()
+                received.append(skb.payload)
+
+        cluster.env.process(reader())
+
+        def dirtier(proc=proc, area=area):
+            while True:
+                yield from proc.check_frozen()
+                proc.address_space.write_range(area, count=10)
+                yield cluster.env.timeout(0.01)
+
+        cluster.env.process(dirtier())
+
+        def sender(client=client):
+            for j, gap in enumerate(gaps_ms):
+                yield cluster.env.timeout(gap / 1000)
+                client.send(j, 64)
+
+        def migrator(node=node, proc=proc, delay_ms=delay_ms):
+            yield cluster.env.timeout(delay_ms / 1000)
+            yield migrate_process(
+                node, dst, proc,
+                LiveMigrationConfig(initial_round_timeout=0.08),
+            )
+
+        cluster.env.process(sender())
+        cluster.env.process(migrator())
+
+    run_for(cluster, sum(gaps_ms) / 1000 + max(delay_a_ms, delay_b_ms) / 1000 + 5.0)
+    return streams, len(gaps_ms)
+
+
 class TestStreamIntegrity:
     @given(traffic, migration_delay)
     @settings(max_examples=12, deadline=None)
@@ -83,3 +135,12 @@ class TestStreamIntegrity:
     def test_exactly_once_in_order_collective(self, gaps, delay):
         received, n = run_scenario(gaps, delay, "collective")
         assert received == list(range(n))
+
+    @given(traffic, migration_delay, migration_delay)
+    @settings(max_examples=8, deadline=None)
+    def test_exactly_once_with_concurrent_migrations(self, gaps, delay_a, delay_b):
+        """Two sessions in flight at once (shared destination) must not
+        cost either stream a byte or reorder it."""
+        streams, n = run_concurrent_scenario(gaps, delay_a, delay_b)
+        for received in streams:
+            assert received == list(range(n))

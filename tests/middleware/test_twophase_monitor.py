@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import build_cluster
 from repro.des import Environment
-from repro.middleware import LoadMonitor, MigrationSlot
+from repro.middleware import LoadMonitor, MigrationAdmission, MigrationSlot
 from repro.testing import run_for
 
 
@@ -54,6 +54,62 @@ class TestMigrationSlot:
     def test_negative_calm_down_rejected(self):
         with pytest.raises(ValueError):
             MigrationSlot(Environment(), calm_down=-1)
+
+    def test_slot_is_capacity_one_admission(self):
+        slot = MigrationSlot(Environment())
+        assert isinstance(slot, MigrationAdmission)
+        assert slot.capacity == 1
+
+
+class TestMigrationAdmission:
+    def test_capacity_two_admits_two_sessions(self):
+        env = Environment()
+        adm = MigrationAdmission(env, capacity=2, calm_down=10)
+        assert adm.try_reserve("node1")
+        assert not adm.busy  # one unit still free
+        assert adm.try_reserve("node2")
+        assert adm.busy
+        assert not adm.try_reserve("node3")
+        adm.release("node1", start_calm_down=False)
+        assert not adm.busy
+        assert adm.holders == ["node2"]
+
+    def test_per_session_calm_down_occupies_capacity(self):
+        env = Environment()
+        adm = MigrationAdmission(env, capacity=2, calm_down=10)
+        adm.try_reserve("node1")
+        adm.release("node1", start_calm_down=True)
+        assert adm.calming
+        assert adm.available == 1
+        assert adm.try_reserve("node2")
+        # One holder plus one cooling unit exhausts the capacity.
+        assert not adm.try_reserve("node3")
+        env.timeout(11)
+        env.run()
+        assert not adm.calming
+        assert adm.try_reserve("node3")
+
+    def test_same_sender_may_hold_several_units(self):
+        env = Environment()
+        adm = MigrationAdmission(env, capacity=2, calm_down=0)
+        assert adm.try_reserve("node1")
+        assert adm.try_reserve("node1")
+        assert adm.in_flight == 2
+        adm.release("node1")
+        assert adm.in_flight == 1
+        adm.release("node1")
+        assert adm.in_flight == 0
+
+    def test_release_by_non_holder_rejected(self):
+        env = Environment()
+        adm = MigrationAdmission(env, capacity=2)
+        adm.try_reserve("node1")
+        with pytest.raises(RuntimeError, match="no reservation"):
+            adm.release("node2")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MigrationAdmission(Environment(), capacity=0)
 
 
 class TestLoadMonitor:
