@@ -24,15 +24,17 @@ PAGES = 64 if QUICK else 256
 CLIENTS = 1 if QUICK else 2
 
 
-def one(k: int):
+def one(k: int, pages: int = None, clients: int = None):
+    pages = PAGES if pages is None else pages
+    clients = CLIENTS if clients is None else clients
     cluster = build_cluster(n_nodes=5, with_db=False)
     dest = cluster.nodes[4]
     procs, sources, areas = [], [], []
     for i in range(k):
         src = cluster.nodes[i % 4]
         proc = src.kernel.spawn_process(f"srv{i}")
-        area = proc.address_space.mmap(PAGES)
-        establish_clients(cluster, src, proc, 27960 + i, CLIENTS)
+        area = proc.address_space.mmap(pages)
+        establish_clients(cluster, src, proc, 27960 + i, clients)
         procs.append(proc)
         sources.append(src)
         areas.append(area)
@@ -68,6 +70,41 @@ def one(k: int):
 
 def run():
     return [one(k) for k in K_SET]
+
+
+def bench_result(quick: bool) -> dict:
+    """Recordable run for ``repro-bench`` (see repro.obs.bench)."""
+    from repro.obs import Histogram, evaluate_slos
+
+    k_set = (1, 2) if quick else (1, 2, 4, 8)
+    pages = 64 if quick else 256
+    clients = 1 if quick else 2
+    rows = [one(k, pages=pages, clients=clients) for k in k_set]
+
+    hist = Histogram("freeze_ms")
+    for r in rows:
+        hist.observe(r["freeze_max_ms"])
+
+    worst = rows[-1]
+    lower = {"unit": "ms", "direction": "lower"}
+    metrics = {
+        "freeze_max_ms": {"value": max(r["freeze_max_ms"] for r in rows), **lower},
+        "freeze_mean_ms_kmax": {"value": worst["freeze_mean_ms"], **lower},
+        "total_max_ms_kmax": {"value": worst["total_max_ms"], **lower},
+        "total_mean_ms_kmax": {"value": worst["total_mean_ms"], **lower},
+    }
+    values = {k: m["value"] for k, m in metrics.items()}
+    slos = evaluate_slos(
+        # Concurrent sessions interleave without unbounded freezes.
+        ["freeze_max_ms < 150"],
+        values,
+    )
+    return {
+        "params": {"k_set": list(k_set), "pages": pages, "clients": clients},
+        "metrics": metrics,
+        "histograms": {"freeze_ms": hist.summary()},
+        "slos": slos.to_dict(),
+    }
 
 
 def test_ext_concurrent_migrations(once):

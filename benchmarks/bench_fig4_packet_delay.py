@@ -10,6 +10,46 @@ from repro.analysis import render_fig4, run_fig4
 from repro.openarena import Fig4Config
 
 
+def bench_result(quick: bool) -> dict:
+    """Recordable run for ``repro-bench`` (see repro.obs.bench)."""
+    from repro.obs import evaluate_slos
+
+    cfg = Fig4Config(n_clients=8, phase_sweep=(0.0, 0.5)) if quick else Fig4Config()
+    result = run_fig4(cfg)
+    report = result.report
+    metrics = {
+        "freeze_ms": {
+            "value": report.freeze_time * 1e3, "unit": "ms", "direction": "lower"
+        },
+        "imposed_delay_ms": {
+            "value": result.imposed_delay * 1e3, "unit": "ms", "direction": "lower"
+        },
+        "snapshots_lost": {
+            "value": result.snapshots_lost, "unit": "packets", "direction": "lower"
+        },
+        "update_interval_ms": {
+            "value": result.regular_interval * 1e3, "unit": "ms", "direction": "none"
+        },
+    }
+    values = {k: m["value"] for k, m in metrics.items()}
+    slos = evaluate_slos(
+        [
+            # Fully transparent to clients: nothing lost, cadence kept,
+            # wire-visible delay of freeze magnitude (paper: ~25 ms).
+            "snapshots_lost == 0",
+            "freeze_ms < 35",
+            "imposed_delay_ms < 40",
+        ],
+        values,
+    )
+    return {
+        "params": {"n_clients": cfg.n_clients, "phase_sweep": list(cfg.phase_sweep)},
+        "metrics": metrics,
+        "histograms": {},
+        "slos": slos.to_dict(),
+    }
+
+
 def test_fig4_openarena_packet_delay(once, trace_dir):
     cfg = Fig4Config(trace_dir=trace_dir) if trace_dir else None
     result = once(lambda: run_fig4(cfg))

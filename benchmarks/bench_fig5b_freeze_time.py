@@ -12,6 +12,56 @@ from dataclasses import replace
 from repro.analysis import SweepConfig, render_fig5b, run_freeze_sweep
 
 CONFIG = SweepConfig(repetitions=2)
+QUICK_CONFIG = SweepConfig(conn_counts=(16, 64, 256), repetitions=1)
+
+
+def bench_result(quick: bool) -> dict:
+    """Recordable run for ``repro-bench`` (see repro.obs.bench)."""
+    from repro.obs import Histogram, evaluate_slos
+
+    cfg = QUICK_CONFIG if quick else CONFIG
+    result = run_freeze_sweep(cfg)
+    top = max(cfg.conn_counts)
+
+    hist = Histogram("freeze_time_ms")
+    for p in result.points:
+        for r in p.reports:
+            if r.success and r.freeze_time is not None:
+                hist.observe(r.freeze_time * 1e3)
+
+    lower = {"unit": "ms", "direction": "lower"}
+    metrics = {
+        "freeze_ms_iterative_top": {
+            "value": result.point(top, "iterative").freeze_time * 1e3, **lower
+        },
+        "freeze_ms_collective_top": {
+            "value": result.point(top, "collective").freeze_time * 1e3, **lower
+        },
+        "freeze_ms_incremental_top": {
+            "value": result.point(top, "incremental-collective").freeze_time * 1e3,
+            **lower,
+        },
+        "freeze_ms_p99": {"value": hist.quantile(0.99), **lower},
+    }
+    values = {k: m["value"] for k, m in metrics.items()}
+    slos = evaluate_slos(
+        [
+            # Headline claim: incremental collective stays under 40 ms.
+            "freeze_ms_incremental_top < 40",
+            "freeze_ms_p99 < 250",
+        ],
+        values,
+    )
+    return {
+        "params": {
+            "conn_counts": list(cfg.conn_counts),
+            "repetitions": cfg.repetitions,
+            "strategies": list(cfg.strategies),
+        },
+        "metrics": metrics,
+        "histograms": {"freeze_time_ms": hist.summary()},
+        "slos": slos.to_dict(),
+    }
 
 
 def test_fig5b_freeze_time_sweep(once, trace_dir):

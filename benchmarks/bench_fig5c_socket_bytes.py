@@ -12,6 +12,46 @@ from dataclasses import replace
 from repro.analysis import SweepConfig, render_fig5c, run_freeze_sweep
 
 CONFIG = SweepConfig(repetitions=1)
+QUICK_CONFIG = SweepConfig(conn_counts=(16, 64, 256), repetitions=1)
+
+
+def bench_result(quick: bool) -> dict:
+    """Recordable run for ``repro-bench`` (see repro.obs.bench)."""
+    from repro.obs import Histogram, evaluate_slos
+
+    cfg = QUICK_CONFIG if quick else CONFIG
+    result = run_freeze_sweep(cfg)
+    top = max(cfg.conn_counts)
+
+    hist = Histogram("freeze_socket_bytes")
+    for p in result.points:
+        hist.observe(p.freeze_socket_bytes)
+
+    full = result.point(top, "iterative").freeze_socket_bytes
+    inc = result.point(top, "incremental-collective").freeze_socket_bytes
+    lower = {"unit": "bytes", "direction": "lower"}
+    metrics = {
+        "freeze_bytes_full_top": {"value": full, **lower},
+        "freeze_bytes_incremental_top": {"value": inc, **lower},
+        "incremental_fraction": {
+            "value": inc / full, "unit": "ratio", "direction": "lower"
+        },
+    }
+    values = {k: m["value"] for k, m in metrics.items()}
+    slos = evaluate_slos(
+        # Section VIII: incremental moves several times less socket data.
+        ["incremental_fraction < 0.34"],
+        values,
+    )
+    return {
+        "params": {
+            "conn_counts": list(cfg.conn_counts),
+            "repetitions": cfg.repetitions,
+        },
+        "metrics": metrics,
+        "histograms": {"freeze_socket_bytes": hist.summary()},
+        "slos": slos.to_dict(),
+    }
 
 
 def test_fig5c_socket_bytes_sweep(once, trace_dir):

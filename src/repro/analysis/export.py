@@ -10,7 +10,7 @@ from ..des import SeriesBundle
 from ..openarena import Fig4Result
 from .fig5bc import FreezeSweepResult
 
-__all__ = ["series_to_csv", "sweep_to_csv", "fig4_to_csv"]
+__all__ = ["series_to_csv", "read_series_csv", "sweep_to_csv", "fig4_to_csv"]
 
 
 def series_to_csv(bundle: SeriesBundle, n_points: int = 200) -> str:
@@ -24,6 +24,30 @@ def series_to_csv(bundle: SeriesBundle, n_points: int = 200) -> str:
             vals = ",".join(f"{bundle[n].value_at(t):.3f}" for n in names)
             out.write(f"{t:.3f},{vals}\n")
     return out.getvalue()
+
+
+def read_series_csv(text: str) -> tuple[list[float], dict[str, list[float]]]:
+    """Inverse of :func:`series_to_csv`: ``(times, {name: values})``.
+
+    Metric names never contain commas, so plain splitting is exact.
+    """
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return [], {}
+    header = lines[0].split(",")
+    if header[0] != "time":
+        raise ValueError("not a series CSV: first column must be 'time'")
+    names = header[1:]
+    times: list[float] = []
+    cols: dict[str, list[float]] = {n: [] for n in names}
+    for ln in lines[1:]:
+        parts = ln.split(",")
+        if len(parts) != len(names) + 1:
+            raise ValueError(f"series CSV row has {len(parts)} fields, expected {len(names) + 1}")
+        times.append(float(parts[0]))
+        for name, value in zip(names, parts[1:]):
+            cols[name].append(float(value))
+    return times, cols
 
 
 def sweep_to_csv(result: FreezeSweepResult) -> str:

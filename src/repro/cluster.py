@@ -123,6 +123,17 @@ class Cluster:
 
             install_transd(self.db)
 
+    # -- observability -------------------------------------------------------
+    def enable_metrics(self) -> list[str]:
+        """Turn on the metrics registry and install the per-node
+        ``node.<ip>.*`` samplers for every cluster host (server nodes and
+        the database host).  Returns the registered metric names.
+        Idempotent; clients attached later are not sampled."""
+        from .obs.samplers import install_node_samplers
+
+        self.env.enable_metrics()
+        return install_node_samplers(self)
+
     # -- clients ------------------------------------------------------------
     def client_ip(self, index: int) -> IPAddr:
         """Deterministic public address for the index-th client."""

@@ -344,6 +344,9 @@ class LiveMigrationEngine:
                     captured=report.packets_captured,
                     reinjected=report.packets_reinjected,
                 )
+            metrics = self.env.metrics
+            if metrics is not None and report.freeze_time is not None:
+                metrics.histogram("mig.freeze_time").observe(report.freeze_time)
             return report
 
         except RpcError as exc:

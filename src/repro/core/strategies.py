@@ -252,6 +252,9 @@ class SocketMigrationStrategy:
                 full=rec.full,
                 fd=entry.fd,
             )
+        metrics = ctx.env.metrics
+        if metrics is not None:
+            metrics.histogram("sock.subtract.bytes").observe(rec.nbytes)
         return rec
 
 

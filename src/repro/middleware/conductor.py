@@ -126,6 +126,13 @@ class Conductor:
             metrics.gauge(
                 f"cond.{host.name}.rejections", fn=lambda: self.reserve_rejections
             )
+            metrics.gauge(
+                f"cond.{host.name}.peers_known", fn=lambda: len(self.peers)
+            )
+            metrics.gauge(
+                f"cond.{host.name}.peers_stale_total",
+                fn=lambda: self.peers.stale_total,
+            )
 
         host.control.register(CONDUCTOR_PORT, self._handle)
         self.env.process(self._discover(), name=f"cond-discover-{host.name}")

@@ -34,15 +34,35 @@ class PeerDatabase:
             raise ValueError("stale timeout must be positive")
         self.stale_timeout = stale_timeout
         self._peers: dict[IPAddr, LoadInfo] = {}
+        #: ip -> timestamp of the heartbeat it was pruned with.  A pruned
+        #: peer's *old* heartbeats may still be in flight; without the
+        #: tombstone a late replay would resurrect the dead entry (and a
+        #: re-announcing node could then look alternately alive/dead).
+        self._pruned: dict[IPAddr, float] = {}
+        #: Total peers ever dropped by :meth:`prune_stale` (monotonic;
+        #: exported as the ``peers_stale_total`` metric).
+        self.stale_total = 0
 
     def update(self, info: LoadInfo) -> None:
-        """Record a heartbeat; ignores stale (older) reorderings."""
+        """Record a heartbeat; ignores stale (older) reorderings.
+
+        A peer pruned earlier is re-admitted only by a heartbeat *newer*
+        than the one it was pruned with — a genuine re-announcement —
+        which also clears its tombstone; late replays of its pre-prune
+        heartbeats are discarded.
+        """
+        pruned_at = self._pruned.get(info.local_ip)
+        if pruned_at is not None:
+            if info.timestamp <= pruned_at:
+                return
+            del self._pruned[info.local_ip]
         current = self._peers.get(info.local_ip)
         if current is None or info.timestamp >= current.timestamp:
             self._peers[info.local_ip] = info
 
     def remove(self, ip: IPAddr) -> None:
         self._peers.pop(ip, None)
+        self._pruned.pop(ip, None)
 
     def prune_stale(self, now: float) -> list[LoadInfo]:
         """Drop peers whose heartbeat lapsed; returns the departed."""
@@ -53,6 +73,8 @@ class PeerDatabase:
         ]
         for info in gone:
             del self._peers[info.local_ip]
+            self._pruned[info.local_ip] = info.timestamp
+        self.stale_total += len(gone)
         return gone
 
     def peers(self) -> list[LoadInfo]:

@@ -48,6 +48,16 @@ class Interface:
     def connected(self) -> bool:
         return self._link is not None
 
+    @property
+    def link(self) -> Optional[Link]:
+        """The attached link (``None`` before :meth:`connect`)."""
+        return self._link
+
+    @property
+    def side(self) -> int:
+        """Which side of the link this interface transmits from."""
+        return self._side
+
     def set_rx_handler(self, handler: Callable[[Packet, "Interface"], None]) -> None:
         self._rx_handler = handler
 

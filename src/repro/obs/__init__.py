@@ -2,14 +2,19 @@
 
 - :mod:`tracer` — typed span/event recording with simulated timestamps,
   zero-overhead when disabled (the default);
-- :mod:`metrics` — counters/gauges sampled into the existing
+- :mod:`metrics` — counters/gauges/histograms sampled into the existing
   :class:`~repro.des.TimeSeries` machinery;
+- :mod:`samplers` — per-node ``node.<ip>.*`` pull-based gauges covering
+  scheduler, TCP/IP stack, NICs, netfilter capture buffers and the
+  conductor peer database;
+- :mod:`slo` — declarative SLO rules evaluated against a finished run;
 - :mod:`export` — JSONL trace export/import, per-migration phase
   timelines and summary tables, byte-reconciliation helpers;
-- :mod:`cli` — the ``repro-trace`` command.
+- :mod:`cli` / :mod:`bench` / :mod:`dash` — the ``repro-trace``,
+  ``repro-bench`` and ``repro-dash`` commands.
 
-See ``docs/observability.md`` for the span-name vocabulary and how to
-read a phase timeline.
+See ``docs/observability.md`` for the span-name vocabulary, the metric
+namespace, the SLO rule syntax and the ``BENCH_*.json`` schema.
 """
 
 from .export import (
@@ -22,7 +27,15 @@ from .export import (
     trace_to_jsonl,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, MetricsRegistry, install_metrics_sampler
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    install_metrics_sampler,
+)
+from .samplers import install_host_sampler, install_node_samplers, node_metric_prefix
+from .slo import SLOCheck, SLOReport, SLORule, evaluate_slos, parse_rule
 from .tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, assemble_spans
 
 __all__ = [
@@ -34,8 +47,17 @@ __all__ = [
     "assemble_spans",
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "install_metrics_sampler",
+    "install_host_sampler",
+    "install_node_samplers",
+    "node_metric_prefix",
+    "SLORule",
+    "SLOCheck",
+    "SLOReport",
+    "parse_rule",
+    "evaluate_slos",
     "trace_to_jsonl",
     "write_jsonl",
     "read_jsonl",

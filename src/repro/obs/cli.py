@@ -18,7 +18,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from .export import read_jsonl, render_timeline, render_trace_summary
+from .export import migration_slices, read_jsonl, render_timeline, render_trace_summary
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +62,20 @@ def main(argv: Optional[list[str]] = None) -> int:
     except (ValueError, KeyError, TypeError) as exc:
         print(f"repro-trace: {args.trace} is not a JSONL trace: {exc}", file=sys.stderr)
         return 2
+    if args.session is not None:
+        known = [
+            s.session for s in migration_slices(events) if s.session is not None
+        ]
+        if args.session not in known:
+            print(
+                f"repro-trace: no such session {args.session!r} in {args.trace}",
+                file=sys.stderr,
+            )
+            if known:
+                print(
+                    "known sessions: " + ", ".join(known), file=sys.stderr
+                )
+            return 3
     show_summary = args.summary or not args.timeline
     show_timeline = args.timeline or not args.summary
     if show_summary:

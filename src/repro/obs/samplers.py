@@ -1,0 +1,139 @@
+"""Per-node telemetry samplers: the layers the paper measures, as metrics.
+
+The evaluation reads distributions off every layer of a node — scheduler
+run-queue depth and CPU share (Fig. 5e/5f), TCP queue occupancy (the
+socket-subtraction cost driver of Fig. 5b/5c), NIC traffic and drops,
+netfilter capture-buffer occupancy during a migration (Section V-B),
+and conductor peer-database staleness (Section IV).  This module
+registers one callback gauge per quantity under a uniform
+``node.<ip>.*`` namespace.
+
+Everything is *pull-based*: a gauge closure reads existing kernel/stack
+state only when the registry is sampled, so instrumented components pay
+nothing on their hot paths — and when the environment has no metrics
+registry at all, :func:`install_node_samplers` is a no-op and not even
+the closures exist.
+
+Kept import-light on purpose (no ``repro.net`` / ``repro.oskern``
+imports at module scope): ``repro.des.engine`` imports the ``repro.obs``
+package, so obs modules must not import the layers back at import time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Cluster
+    from ..oskern.node import Host
+    from .metrics import MetricsRegistry
+
+__all__ = ["node_metric_prefix", "install_node_samplers", "install_host_sampler"]
+
+
+def node_metric_prefix(host: "Host") -> str:
+    """The metric namespace of one host: ``node.<local ip>`` (the local
+    address is what distinguishes nodes of the single-public-IP cluster;
+    public-only hosts fall back to their public address)."""
+    kernel = host.kernel
+    iface = kernel.local_iface if kernel.local_iface is not None else kernel.public_iface
+    return f"node.{iface.ip}"
+
+
+def _iface_gauges(registry: "MetricsRegistry", prefix: str, iface) -> None:
+    p = f"{prefix}.nic.{iface.kind}"
+    registry.gauge(f"{p}.tx_bytes", fn=lambda: iface.tx_bytes)
+    registry.gauge(f"{p}.rx_bytes", fn=lambda: iface.rx_bytes)
+    registry.gauge(f"{p}.tx_packets", fn=lambda: iface.tx_packets)
+    registry.gauge(f"{p}.rx_packets", fn=lambda: iface.rx_packets)
+    link = iface.link
+    if link is not None:
+        side = iface.side
+        # Seconds a packet handed to the NIC right now would wait for
+        # the transmitter: the FIFO backlog, i.e. link utilisation
+        # pressure in time units.
+        registry.gauge(f"{p}.tx_backlog_s", fn=lambda: link.queueing_delay(side))
+
+
+def install_host_sampler(host: "Host", registry: Optional["MetricsRegistry"] = None) -> list[str]:
+    """Register the ``node.<ip>.*`` gauges for one host.
+
+    Returns the metric names registered (empty when the host's
+    environment has no metrics registry — the disabled case costs
+    nothing).  Idempotent: re-installing rebinds the same names.
+    """
+    if registry is None:
+        registry = host.env.metrics
+    if registry is None:
+        return []
+    kernel = host.kernel
+    stack = kernel.stack
+    prefix = node_metric_prefix(host)
+    before = set(registry.names())
+
+    # -- scheduler (oskern.sched) -----------------------------------------
+    cpu = kernel.cpu
+    registry.gauge(f"{prefix}.sched.runq", fn=cpu.runq_depth)
+    registry.gauge(f"{prefix}.sched.cpu_util", fn=cpu.utilization)
+    registry.gauge(f"{prefix}.sched.nprocs", fn=lambda: len(kernel.processes))
+
+    # -- TCP/IP stack (tcpip.stack) ---------------------------------------
+    registry.gauge(f"{prefix}.tcp.established", fn=lambda: len(stack.tables.ehash))
+    registry.gauge(f"{prefix}.tcp.send_q_bytes", fn=lambda: stack.queue_bytes()[0])
+    registry.gauge(f"{prefix}.tcp.recv_q_bytes", fn=lambda: stack.queue_bytes()[1])
+    registry.gauge(f"{prefix}.tcp.ooo_q_bytes", fn=lambda: stack.queue_bytes()[2])
+    ip = stack.ip
+    registry.gauge(f"{prefix}.ip.delivered", fn=lambda: ip.delivered)
+    registry.gauge(
+        f"{prefix}.ip.drops",
+        fn=lambda: ip.checksum_drops + ip.no_socket_drops + ip.hook_drops,
+    )
+
+    # -- NIC / links (net) -------------------------------------------------
+    for iface in (kernel.local_iface, kernel.public_iface):
+        if iface is not None:
+            _iface_gauges(registry, prefix, iface)
+
+    # -- netfilter capture buffers (oskern.netfilter) ----------------------
+    # The capture service is installed lazily by the first inbound
+    # migration, so resolve it at *sample* time, not install time.
+    def capture_queued() -> float:
+        svc = host.daemons.get("capture")
+        if svc is None:
+            return 0.0
+        return float(sum(svc.queue_length(k) for k in svc.active_keys()))
+
+    registry.gauge(f"{prefix}.netfilter.capture_queued", fn=capture_queued)
+    registry.gauge(
+        f"{prefix}.netfilter.hooks",
+        fn=lambda: sum(len(kernel.netfilter.hooks(c)) for c in kernel.netfilter.CHAINS),
+    )
+
+    # -- conductor peer database (middleware) ------------------------------
+    def peer_staleness() -> float:
+        cond = host.daemons.get("conductor")
+        if cond is None:
+            return 0.0
+        peers = cond.peers.peers()
+        if not peers:
+            return 0.0
+        return host.env.now - min(p.timestamp for p in peers)
+
+    registry.gauge(f"{prefix}.cond.peer_staleness_s", fn=peer_staleness)
+
+    return sorted(set(registry.names()) - before)
+
+
+def install_node_samplers(cluster: "Cluster") -> list[str]:
+    """Register ``node.<ip>.*`` samplers for every host of a cluster
+    (server nodes and the database host).  Returns the registered metric
+    names; a no-op (empty list) while metrics are disabled."""
+    if cluster.env.metrics is None:
+        return []
+    names: list[str] = []
+    hosts = list(cluster.nodes)
+    if cluster.db is not None:
+        hosts.append(cluster.db)
+    for host in hosts:
+        names.extend(install_host_sampler(host))
+    return names

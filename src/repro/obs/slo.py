@@ -1,0 +1,162 @@
+"""Declarative SLO assertions over a finished run (``repro.obs.slo``).
+
+The paper's claims are all of the form "*quantity stays under bound*":
+freeze time below tens of milliseconds beyond 1000 connections, zero
+packets lost during migration, client update cadence unbroken.  An
+:class:`SLORule` states one such bound declaratively
+(``"freeze_time_p99 < 3.0"``); :func:`evaluate_slos` checks a rule set
+against the flat metric values of a finished run — a registry snapshot,
+a ``BENCH_*.json`` metric block, or any name->number mapping — and
+returns a per-rule verdict **with evidence** (the observed value), so a
+failing gate says what was measured, not just that it failed.
+
+Rule syntax (one rule per string)::
+
+    <metric> <op> <threshold>
+
+where ``<metric>`` is a metric name (dots allowed, e.g.
+``mig.freeze_time.p99``), ``<op>`` is one of ``< <= > >= == !=`` and
+``<threshold>`` is a float.  A rule whose metric is absent from the
+values *fails* with reason ``metric not found`` — a gate must never
+pass because instrumentation silently vanished.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+__all__ = ["SLORule", "SLOCheck", "SLOReport", "parse_rule", "evaluate_slos"]
+
+#: Longest operators first so ``<=`` never tokenizes as ``<``.
+_OPS = ("<=", ">=", "==", "!=", "<", ">")
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<metric>[A-Za-z_][\w.\-]*)\s*"
+    r"(?P<op><=|>=|==|!=|<|>)\s*"
+    r"(?P<threshold>[-+0-9.eE]+)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative bound on one metric."""
+
+    metric: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO operator {self.op!r}")
+
+    def check(self, value: float) -> bool:
+        if self.op == "<":
+            return value < self.threshold
+        if self.op == "<=":
+            return value <= self.threshold
+        if self.op == ">":
+            return value > self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        if self.op == "==":
+            return value == self.threshold
+        return value != self.threshold
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+
+def parse_rule(text: str) -> SLORule:
+    """Parse ``"freeze_time_p99 < 3.0"`` into an :class:`SLORule`."""
+    m = _RULE_RE.match(text)
+    if m is None:
+        raise ValueError(
+            f"malformed SLO rule {text!r} (expected '<metric> <op> <threshold>')"
+        )
+    try:
+        threshold = float(m.group("threshold"))
+    except ValueError:
+        raise ValueError(f"bad SLO threshold in {text!r}") from None
+    return SLORule(m.group("metric"), m.group("op"), threshold)
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One evaluated rule: verdict plus the evidence behind it."""
+
+    rule: SLORule
+    #: Observed value, or ``None`` when the metric was absent.
+    value: Optional[float]
+    passed: bool
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": str(self.rule),
+            "value": self.value,
+            "passed": self.passed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All checks of one evaluation."""
+
+    checks: list[SLOCheck]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[SLOCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    def to_dict(self) -> dict:
+        return {"passed": self.passed, "checks": [c.to_dict() for c in self.checks]}
+
+    def render(self) -> str:
+        from ..analysis.report import render_table
+
+        rows = [
+            [
+                "PASS" if c.passed else "FAIL",
+                str(c.rule),
+                "-" if c.value is None else f"{c.value:.6g}",
+                c.reason,
+            ]
+            for c in self.checks
+        ]
+        verdict = "all SLOs met" if self.passed else f"{len(self.failures)} SLO(s) violated"
+        return render_table(
+            ["verdict", "rule", "observed", "evidence"],
+            rows,
+            title=f"SLO report: {verdict}",
+        )
+
+
+RuleLike = Union[SLORule, str]
+
+
+def evaluate_slos(
+    rules: Iterable[RuleLike], values: Mapping[str, float]
+) -> SLOReport:
+    """Evaluate each rule against ``values`` (any name->number mapping,
+    e.g. ``registry.snapshot()``)."""
+    checks: list[SLOCheck] = []
+    for rule in rules:
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        if rule.metric not in values:
+            checks.append(
+                SLOCheck(rule, None, False, "metric not found in run output")
+            )
+            continue
+        value = float(values[rule.metric])
+        ok = rule.check(value)
+        reason = f"observed {value:.6g} {'satisfies' if ok else 'violates'} {rule.op} {rule.threshold:g}"
+        checks.append(SLOCheck(rule, value, ok, reason))
+    return SLOReport(checks)

@@ -42,6 +42,12 @@ class GameClient:
         self.socket = self.host.stack.udp_socket()
         self.socket.bind(27961, ip=self.host.public_ip)
         self.stats = ClientStats()
+        # Cached once: when metrics are disabled this stays None and the
+        # receive path pays a single attribute test per snapshot.
+        metrics = self.env.metrics
+        self._latency_hist = (
+            metrics.histogram("dve.client.latency") if metrics is not None else None
+        )
 
     def start(self) -> None:
         self.env.process(self._play(), name=f"bot-{self.host.name}")
@@ -65,6 +71,8 @@ class GameClient:
                 self.stats.snapshots_received += 1
                 if self.record_times:
                     self.stats.snapshot_times.append(self.env.now)
+                if self._latency_hist is not None and len(skb.payload) > 2:
+                    self._latency_hist.observe(self.env.now - skb.payload[2])
 
 
 def join_clients(

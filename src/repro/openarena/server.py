@@ -136,9 +136,14 @@ class OpenArenaServer:
             self.inputs_processed += len(self._pending_inputs)
             self._pending_inputs.clear()
             # Snapshot every client at the frame boundary.
+            # The third element is the send timestamp — clients use it
+            # for the dve.client.latency histogram; older consumers only
+            # look at payload[0]/payload[1], so the extension is benign.
             for client in list(self.clients):
                 self.socket.sendto(
-                    ("snapshot", self.frames), cfg.snapshot_bytes, client
+                    ("snapshot", self.frames, self.env.now),
+                    cfg.snapshot_bytes,
+                    client,
                 )
                 self.snapshots_sent += 1
 

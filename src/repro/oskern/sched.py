@@ -71,6 +71,11 @@ class CpuAccounting:
         self._cpu_time.setdefault(proc.pid, 0.0)
 
     # -- queries --------------------------------------------------------------
+    def runq_depth(self) -> int:
+        """Runnable processes: those with a positive declared demand
+        (the atop/telemetry notion of run-queue depth in a fluid model)."""
+        return sum(1 for d in self._demand.values() if d > 0)
+
     def total_demand(self) -> float:
         self._integrate()
         return sum(self._demand.values())

@@ -73,6 +73,17 @@ class NetworkStack:
             self._next_ephemeral = self._ephemeral_base
         return port
 
+    def queue_bytes(self) -> tuple[int, int, int]:
+        """(send, receive, out-of-order) queue bytes summed over every
+        established TCP socket — the node-level occupancy the telemetry
+        samplers export (pull-based; nothing is tracked on data paths)."""
+        send = recv = ooo = 0
+        for sock in self.tables.ehash.values():
+            send += sum(b.size for b in sock.write_queue)
+            recv += sum(b.size for b in sock.receive_queue)
+            ooo += sum(b.size for b in sock.ooo_queue)
+        return send, recv, ooo
+
     def default_ip(self) -> IPAddr:
         """Address used for wildcard-ish binds: public if present."""
         k = self.kernel

@@ -63,6 +63,64 @@ class TestPeerDatabase:
             PeerDatabase(stale_timeout=0)
 
 
+class TestPruneReadmission:
+    """Regression: a pruned node that re-announces must be re-admitted
+    cleanly, while late replays of its pre-prune heartbeats stay dead."""
+
+    def test_fresh_reannounce_readmits(self):
+        db = PeerDatabase(stale_timeout=5)
+        db.update(info("node2", 50, ts=0))
+        db.prune_stale(now=10)
+        assert len(db) == 0
+        db.update(info("node2", 30, ts=12))  # node comes back
+        assert IPAddr("192.168.0.2") in db
+        assert db.get(IPAddr("192.168.0.2")).cpu_percent == 30
+
+    def test_stale_replay_does_not_resurrect(self):
+        db = PeerDatabase(stale_timeout=5)
+        db.update(info("node2", 50, ts=3))
+        db.prune_stale(now=10)
+        # A delayed duplicate of the pre-prune heartbeat arrives late:
+        # it must not bring the dead peer back.
+        db.update(info("node2", 50, ts=3))
+        assert len(db) == 0
+        db.update(info("node2", 50, ts=1))  # even older replay
+        assert len(db) == 0
+
+    def test_readmission_clears_tombstone(self):
+        db = PeerDatabase(stale_timeout=5)
+        db.update(info("node2", 50, ts=0))
+        db.prune_stale(now=10)
+        db.update(info("node2", 30, ts=12))
+        # After re-admission the peer behaves like any live peer again:
+        # a second prune cycle works, and so does a second comeback.
+        gone = db.prune_stale(now=20)
+        assert [g.node_name for g in gone] == ["node2"]
+        db.update(info("node2", 10, ts=25))
+        assert len(db) == 1
+
+    def test_remove_clears_tombstone(self):
+        db = PeerDatabase(stale_timeout=5)
+        db.update(info("node2", 50, ts=0))
+        db.prune_stale(now=10)
+        db.remove(IPAddr("192.168.0.2"))
+        # An explicit remove forgets the history entirely: even an old
+        # timestamp may register afresh (new incarnation, new clock).
+        db.update(info("node2", 20, ts=2))
+        assert len(db) == 1
+
+    def test_stale_total_counts_monotonically(self):
+        db = PeerDatabase(stale_timeout=5)
+        assert db.stale_total == 0
+        db.update(info("node2", 50, ts=0))
+        db.update(info("node3", 60, ts=0))
+        db.prune_stale(now=10)
+        assert db.stale_total == 2
+        db.update(info("node2", 30, ts=12))
+        db.prune_stale(now=30)
+        assert db.stale_total == 3
+
+
 class TestTransferPolicy:
     def test_critical_threshold(self):
         p = TransferPolicy(PolicyConfig(critical_threshold=90))

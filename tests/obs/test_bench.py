@@ -1,0 +1,203 @@
+"""The repro-bench recorder: schema validation, persistence roundtrip,
+direction-aware regression comparison, and the runner end to end."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    compare_benches,
+    discover_benches,
+    main,
+    make_bench,
+    read_bench,
+    run_bench_file,
+    validate_bench,
+    write_bench,
+)
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def doc(**metrics):
+    return make_bench(
+        "t",
+        quick=True,
+        metrics={
+            name: {"value": value, "unit": "ms", "direction": "lower"}
+            for name, value in metrics.items()
+        },
+        rev="deadbeef",
+    )
+
+
+class TestSchema:
+    def test_make_bench_is_valid(self):
+        d = doc(a=1.0)
+        assert d["schema"] == BENCH_SCHEMA
+        assert validate_bench(d) is d
+
+    @pytest.mark.parametrize(
+        "mutate, msg",
+        [
+            (lambda d: d.update(schema="bogus/9"), "schema"),
+            (lambda d: d.update(name=""), "name"),
+            (lambda d: d.update(quick="yes"), "quick"),
+            (lambda d: d.update(metrics=[1]), "metrics"),
+            (lambda d: d["metrics"].update(bad={"value": "x"}), "value"),
+            (
+                lambda d: d["metrics"].update(
+                    bad={"value": 1, "unit": "s", "direction": "sideways"}
+                ),
+                "direction",
+            ),
+            (lambda d: d.update(histograms={"h": {"p50": 1}}), "histogram"),
+            (lambda d: d.update(slos={"checks": []}), "slos"),
+        ],
+    )
+    def test_rejects_bad_documents(self, mutate, msg):
+        d = doc(a=1.0)
+        mutate(d)
+        with pytest.raises(ValueError, match=msg):
+            validate_bench(d)
+
+    def test_roundtrip(self, tmp_path):
+        d = doc(a=1.5)
+        path = write_bench(tmp_path, d)
+        assert path.name == "BENCH_t.json"
+        assert read_bench(path) == d
+
+    def test_read_rejects_non_json(self, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        p.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_bench(p)
+
+
+class TestCompare:
+    def test_identical_is_ok(self):
+        results = compare_benches(doc(a=10.0), doc(a=10.0))
+        assert [r["status"] for r in results] == ["ok"]
+
+    def test_detects_injected_regression(self):
+        """A synthetic +50% on a lower-is-better metric must be flagged."""
+        results = compare_benches(doc(a=10.0, b=10.0), doc(a=15.0, b=10.0))
+        by_name = {r["metric"]: r for r in results}
+        assert by_name["a"]["status"] == "regressed"
+        assert by_name["a"]["change_pct"] == pytest.approx(50.0)
+        assert by_name["b"]["status"] == "ok"
+
+    def test_improvement_never_fails(self):
+        (r,) = compare_benches(doc(a=10.0), doc(a=2.0))
+        assert r["status"] == "improved"
+
+    def test_direction_higher(self):
+        old = make_bench(
+            "t",
+            quick=True,
+            metrics={"tput": {"value": 100.0, "unit": "ops", "direction": "higher"}},
+            rev="r",
+        )
+        new = json.loads(json.dumps(old))
+        new["metrics"]["tput"]["value"] = 80.0
+        (r,) = compare_benches(old, new)
+        assert r["status"] == "regressed"
+
+    def test_direction_none_drifts_both_ways(self):
+        old = make_bench(
+            "t",
+            quick=True,
+            metrics={"iv": {"value": 50.0, "unit": "ms", "direction": "none"}},
+            rev="r",
+        )
+        for drifted in (40.0, 60.0):
+            new = json.loads(json.dumps(old))
+            new["metrics"]["iv"]["value"] = drifted
+            (r,) = compare_benches(old, new)
+            assert r["status"] == "regressed", drifted
+
+    def test_within_threshold_is_ok(self):
+        (r,) = compare_benches(doc(a=10.0), doc(a=10.5), threshold_pct=10.0)
+        assert r["status"] == "ok"
+
+    def test_missing_metric_is_flagged(self):
+        (r,) = compare_benches(doc(a=10.0), doc(b=10.0))
+        assert r["status"] == "missing"
+
+    def test_zero_baseline(self):
+        (r,) = compare_benches(doc(a=0.0), doc(a=0.0))
+        assert r["status"] == "ok"
+        (r,) = compare_benches(doc(a=0.0), doc(a=1.0))
+        assert r["status"] == "regressed"
+
+
+class TestRunner:
+    def test_discovery_finds_repo_benches(self):
+        names = [p.name for p in discover_benches(BENCH_DIR)]
+        assert "bench_fig5b_freeze_time.py" in names
+        assert "bench_ext_concurrent_migrations.py" in names
+
+    def test_hookless_module_is_skipped(self, tmp_path):
+        f = tmp_path / "bench_nohook.py"
+        f.write_text("X = 1\n")
+        assert run_bench_file(f, quick=True) is None
+
+    def test_run_bench_file_end_to_end(self):
+        """The real concurrent-migrations bench, quick mode: a complete
+        simulated experiment recorded as a schema-valid document."""
+        d = run_bench_file(BENCH_DIR / "bench_ext_concurrent_migrations.py", quick=True)
+        assert d["schema"] == BENCH_SCHEMA
+        assert d["name"] == "ext_concurrent_migrations"
+        assert d["quick"] is True
+        assert d["metrics"]["freeze_max_ms"]["value"] > 0
+        assert d["histograms"]["freeze_ms"]["count"] == len(d["params"]["k_set"])
+        assert d["slos"]["passed"] is True
+
+    def test_cli_run_and_compare(self, tmp_path, capsys):
+        rc = main(
+            [
+                "run",
+                "ext_concurrent",
+                "--bench-dir",
+                str(BENCH_DIR),
+                "--out",
+                str(tmp_path),
+                "--quick",
+            ]
+        )
+        assert rc == 0
+        out = tmp_path / "BENCH_ext_concurrent_migrations.json"
+        assert out.exists()
+        validate_bench(json.loads(out.read_text()))
+
+        # Identity compare passes...
+        assert main(["compare", str(out), str(out)]) == 0
+        # ... and an injected regression fails the gate.
+        worse = json.loads(out.read_text())
+        worse["metrics"]["freeze_max_ms"]["value"] *= 2.0
+        bad = tmp_path / "BENCH_regressed.json"
+        bad.write_text(json.dumps(worse))
+        assert main(["compare", str(out), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out + captured.err
+
+    def test_cli_unknown_bench_name(self, tmp_path):
+        with pytest.raises(SystemExit, match="no bench matches"):
+            main(
+                [
+                    "run",
+                    "no_such_bench",
+                    "--bench-dir",
+                    str(BENCH_DIR),
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_cli_compare_different_benches_rejected(self, tmp_path):
+        a = write_bench(tmp_path, doc(a=1.0))
+        other = make_bench("other", quick=True, rev="r")
+        b = write_bench(tmp_path, other)
+        assert main(["compare", str(a), str(b)]) == 2

@@ -1,0 +1,132 @@
+"""The repro-dash terminal dashboard and the series-CSV roundtrip."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import read_series_csv, series_to_csv
+from repro.core import migrate_process
+from repro.des import SeriesBundle
+from repro.obs import install_metrics_sampler, write_jsonl
+from repro.obs.dash import main, render_node_panel, split_node_metric
+from repro.testing import establish_clients, run_for
+
+
+class TestSplitNodeMetric:
+    def test_dotted_ip(self):
+        assert split_node_metric("node.192.168.0.1.sched.runq") == (
+            "192.168.0.1",
+            "sched.runq",
+        )
+
+    def test_multi_component_suffix(self):
+        assert split_node_metric("node.10.0.0.7.nic.local.tx_bytes") == (
+            "10.0.0.7",
+            "nic.local.tx_bytes",
+        )
+
+    def test_non_node_names(self):
+        assert split_node_metric("cond.node1.initiated") is None
+        assert split_node_metric("node.") is None
+        assert split_node_metric("node.192.168.0.1") is None  # no suffix
+
+
+class TestSeriesCsvRoundtrip:
+    def test_roundtrip(self):
+        bundle = SeriesBundle()
+        for t in (0.0, 1.0, 2.0):
+            bundle.record("a", t, t * 10)
+            bundle.record("b", t, 5.0)
+        times, cols = read_series_csv(series_to_csv(bundle, n_points=3))
+        assert times == [0.0, 1.0, 2.0]
+        assert cols["a"] == [0.0, 10.0, 20.0]
+        assert cols["b"] == [5.0, 5.0, 5.0]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="first column"):
+            read_series_csv("x,y\n1,2\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_series_csv("time,a\n1,2,3\n")
+
+    def test_empty(self):
+        assert read_series_csv("") == ([], {})
+
+
+@pytest.fixture
+def run_exports(two_nodes, tmp_path):
+    """A migrated workload's trace JSONL + metrics CSV on disk."""
+    cluster = two_nodes
+    cluster.enable_metrics()
+    tracer = cluster.env.enable_tracing()
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zs")
+    proc.address_space.mmap(32)
+    establish_clients(cluster, node, proc, 27960, 2)
+    bundle = SeriesBundle()
+    install_metrics_sampler(cluster.env, cluster.env.metrics, bundle, interval=0.2)
+    run_for(cluster, 0.4)
+    ev = migrate_process(node, cluster.nodes[1], proc)
+    report = cluster.env.run(until=ev)
+    assert report.success
+    run_for(cluster, 0.4)
+    trace = tmp_path / "run.jsonl"
+    write_jsonl(trace, tracer)
+    csv = tmp_path / "run.csv"
+    csv.write_text(series_to_csv(bundle, n_points=10))
+    return trace, csv, report
+
+
+class TestNodePanel:
+    def test_renders_one_row_per_node(self, run_exports):
+        _, csv, _ = run_exports
+        _, cols = read_series_csv(Path(csv).read_text())
+        panel = render_node_panel(cols)
+        assert "192.168.0.1" in panel
+        assert "192.168.0.2" in panel
+        assert "runq" in panel and "estab" in panel
+
+    def test_empty_metrics(self):
+        assert "no node" in render_node_panel({})
+
+
+class TestCli:
+    def test_needs_an_input(self, capsys):
+        assert main([]) == 2
+        assert "need --metrics" in capsys.readouterr().err
+
+    def test_missing_files(self, tmp_path, capsys):
+        assert main(["--metrics", str(tmp_path / "nope.csv")]) == 2
+        assert main(["--trace", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_full_dashboard(self, run_exports, capsys):
+        trace, csv, report = run_exports
+        assert main(["--metrics", str(csv), "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Nodes" in out
+        assert "192.168.0.1" in out
+        assert "one row per migration" in out
+        assert report.session in out
+
+    def test_session_filter(self, run_exports, capsys):
+        trace, _, report = run_exports
+        assert main(["--trace", str(trace), "--session", report.session]) == 0
+        assert main(["--trace", str(trace), "--session", "nope#1"]) == 3
+        assert "no such session" in capsys.readouterr().err
+
+    def test_slo_gate(self, run_exports, capsys):
+        trace, csv, _ = run_exports
+        ok = main(
+            ["--metrics", str(csv), "--slo", "node.192.168.0.1.ip.drops < 1e9"]
+        )
+        assert ok == 0
+        bad = main(
+            ["--metrics", str(csv), "--slo", "node.192.168.0.1.ip.delivered < 0"]
+        )
+        assert bad == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_malformed_slo(self, run_exports, capsys):
+        _, csv, _ = run_exports
+        assert main(["--metrics", str(csv), "--slo", "what is this"]) == 2
+        assert "malformed SLO rule" in capsys.readouterr().err

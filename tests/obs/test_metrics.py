@@ -54,6 +54,30 @@ class TestRegistry:
         with pytest.raises(ValueError):
             reg.counter("y")
 
+    def test_collision_error_names_both_kinds(self):
+        """The error must say what the name already is and what was
+        asked for — not just that something went wrong."""
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(
+            ValueError, match=r"'x' is already registered as a counter.*requested a gauge"
+        ):
+            reg.gauge("x")
+        with pytest.raises(
+            ValueError, match=r"registered as a counter.*requested a histogram"
+        ):
+            reg.histogram("x")
+
+    def test_kind_of(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert reg.kind_of("c") == "counter"
+        assert reg.kind_of("g") == "gauge"
+        assert reg.kind_of("h") == "histogram"
+        assert reg.kind_of("nope") is None
+
     def test_gauge_fn_rebind(self):
         reg = MetricsRegistry()
         reg.gauge("g", fn=lambda: 1)
@@ -104,3 +128,36 @@ class TestSampling:
 
     def test_metrics_default_off(self, env):
         assert env.metrics is None
+
+
+class TestSamplerLifecycle:
+    """A run that ends mid-interval must leave a clean series: no
+    partial rows, and resuming never duplicates a timestamp."""
+
+    @staticmethod
+    def _sampled(env, interval=1.0):
+        reg = env.enable_metrics()
+        reg.gauge("g", fn=lambda: 1.0)
+        bundle = SeriesBundle()
+        install_metrics_sampler(env, reg, bundle, interval=interval)
+        return bundle
+
+    def test_stop_mid_interval_writes_no_partial_row(self, env):
+        bundle = self._sampled(env)
+        env.run(until=2.5)
+        assert list(bundle["g"].times) == [0.0, 1.0, 2.0]
+
+    def test_resume_is_monotonic_with_no_duplicates(self, env):
+        bundle = self._sampled(env)
+        env.run(until=2.5)
+        env.run(until=4.5)
+        times = list(bundle["g"].times)
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_same_instant_rerun_adds_nothing(self, env):
+        bundle = self._sampled(env)
+        env.run(until=1.5)
+        n = len(bundle["g"])
+        env.run(until=1.5)
+        assert len(bundle["g"]) == n

@@ -1,0 +1,81 @@
+"""Histograms and trace spans are two views of one run: the freeze-time
+and socket-subtraction distributions recorded by the metrics plane must
+reconcile (within bucket resolution) with the per-event trace records,
+for every socket-migration strategy."""
+
+import math
+
+import pytest
+
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.obs import Histogram, migration_slices
+from repro.testing import establish_clients, run_for
+
+STRATEGIES = ("iterative", "collective", "incremental-collective")
+
+
+def observed_migration(cluster, strategy):
+    """One migration with *both* tracing and metrics enabled."""
+    cluster.enable_metrics()
+    tracer = cluster.env.enable_tracing()
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv0")
+    proc.address_space.mmap(64, tag="heap")
+    establish_clients(cluster, node, proc, 27960, 4)
+    run_for(cluster, 0.2)
+    ev = migrate_process(
+        node, cluster.nodes[1], proc, LiveMigrationConfig(strategy=strategy)
+    )
+    report = cluster.env.run(until=ev)
+    assert report.success
+    return tracer, report
+
+
+def within_bucket_resolution(approx, exact):
+    if exact == 0:
+        return approx == 0
+    return exact / Histogram.GROWTH <= approx <= exact * Histogram.GROWTH
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFreezeTimeReconciles:
+    def test_histogram_matches_trace(self, two_nodes, strategy):
+        tracer, report = observed_migration(two_nodes, strategy)
+        (sl,) = migration_slices(tracer.events)
+        trace_freeze = sl.terminal.fields["freeze_time"]
+        assert trace_freeze == pytest.approx(report.freeze_time)
+
+        hist = two_nodes.env.metrics.histogram("mig.freeze_time")
+        assert hist.count == 1
+        # Exact stats are exact; quantiles to bucket resolution.
+        assert hist.max() == pytest.approx(trace_freeze)
+        assert hist.sum == pytest.approx(trace_freeze)
+        for q in (0.5, 0.95, 0.99):
+            assert within_bucket_resolution(hist.quantile(q), trace_freeze)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestSubtractBytesReconcile:
+    def test_histogram_matches_trace(self, two_nodes, strategy):
+        tracer, report = observed_migration(two_nodes, strategy)
+        (sl,) = migration_slices(tracer.events)
+        nbytes = sorted(
+            ev.fields["nbytes"] for ev in sl.events if ev.name == "sock.subtract"
+        )
+        assert nbytes, "no sock.subtract events traced"
+
+        hist = two_nodes.env.metrics.histogram("sock.subtract.bytes")
+        assert hist.count == len(nbytes)
+        assert hist.sum == pytest.approx(sum(nbytes))
+        assert hist.min() == min(nbytes)
+        assert hist.max() == max(nbytes)
+        for q in (0.5, 0.95, 0.99):
+            exact = nbytes[min(len(nbytes) - 1, math.ceil(q * len(nbytes)) - 1)]
+            assert within_bucket_resolution(hist.quantile(q), exact), (q, exact)
+
+    def test_trace_and_report_totals_agree(self, two_nodes, strategy):
+        """All three accounts of freeze-phase socket bytes line up:
+        report counters, trace sums, histogram sum."""
+        tracer, report = observed_migration(two_nodes, strategy)
+        hist = two_nodes.env.metrics.histogram("sock.subtract.bytes")
+        assert hist.sum == report.bytes.freeze_sockets

@@ -1,0 +1,120 @@
+"""Per-node ``node.<ip>.*`` samplers: coverage, sanity, and the
+zero-overhead disabled path."""
+
+from repro.core import install_migd, migrate_process
+from repro.obs import install_host_sampler, install_node_samplers, node_metric_prefix
+from repro.testing import establish_clients, run_for
+
+SUFFIXES = (
+    "sched.runq",
+    "sched.cpu_util",
+    "sched.nprocs",
+    "tcp.established",
+    "tcp.send_q_bytes",
+    "tcp.recv_q_bytes",
+    "tcp.ooo_q_bytes",
+    "ip.delivered",
+    "ip.drops",
+    "nic.local.tx_bytes",
+    "nic.local.rx_bytes",
+    "nic.local.tx_packets",
+    "nic.local.rx_packets",
+    "nic.local.tx_backlog_s",
+    "netfilter.capture_queued",
+    "netfilter.hooks",
+    "cond.peer_staleness_s",
+)
+
+
+class TestDisabledPath:
+    def test_noop_without_registry(self, two_nodes):
+        assert two_nodes.env.metrics is None
+        assert install_node_samplers(two_nodes) == []
+        assert install_host_sampler(two_nodes.nodes[0]) == []
+        assert two_nodes.env.metrics is None  # still never created
+
+
+class TestRegistration:
+    def test_prefix_uses_local_ip(self, two_nodes):
+        assert node_metric_prefix(two_nodes.nodes[0]) == "node.192.168.0.1"
+        assert node_metric_prefix(two_nodes.nodes[1]) == "node.192.168.0.2"
+
+    def test_all_layers_covered_per_node(self, two_nodes):
+        names = set(two_nodes.enable_metrics())
+        for node in two_nodes.nodes:
+            prefix = node_metric_prefix(node)
+            for suffix in SUFFIXES:
+                assert f"{prefix}.{suffix}" in names, f"{prefix}.{suffix}"
+        # Server nodes also have a public NIC.
+        assert "node.192.168.0.1.nic.public.tx_bytes" in names
+
+    def test_db_host_included(self, cluster):
+        names = set(cluster.enable_metrics())
+        assert any(n.startswith("node.192.168.0.200.") for n in names)
+
+    def test_reinstall_is_idempotent(self, two_nodes):
+        first = two_nodes.enable_metrics()
+        assert first
+        assert two_nodes.enable_metrics() == []  # same names, nothing new
+        assert install_host_sampler(two_nodes.nodes[0]) == []
+
+
+class TestSampledValues:
+    def test_values_track_a_live_workload(self, two_nodes):
+        cluster = two_nodes
+        cluster.enable_metrics()
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("zs")
+        proc.address_space.mmap(32)
+        node.kernel.cpu.set_demand(proc, 0.5)
+        establish_clients(cluster, node, proc, 27960, 3)
+        run_for(cluster, 0.5)
+        snap = cluster.env.metrics.snapshot()
+        p = node_metric_prefix(node)
+        assert snap[f"{p}.sched.nprocs"] >= 1
+        assert snap[f"{p}.sched.runq"] >= 1
+        assert snap[f"{p}.sched.cpu_util"] >= 25.0  # 0.5 of 2 cores
+        # 3 client connections = 3 child sockets + their peers live
+        # elsewhere; on this node at least the children are hashed.
+        assert snap[f"{p}.tcp.established"] >= 3
+        assert snap[f"{p}.ip.delivered"] > 0
+        assert snap[f"{p}.nic.public.rx_packets"] > 0
+        assert snap[f"{p}.netfilter.hooks"] >= 0
+
+    def test_capture_gauge_reads_lazily_installed_service(self, two_nodes):
+        """The capture service appears only when a migration starts; the
+        gauge must read 0 before and the real queue afterwards."""
+        cluster = two_nodes
+        cluster.enable_metrics()
+        src, dst = cluster.nodes
+        p = node_metric_prefix(src)
+        name = f"{p}.netfilter.capture_queued"
+        assert cluster.env.metrics.snapshot()[name] == 0.0
+        install_migd(src)
+        install_migd(dst)
+        proc = src.kernel.spawn_process("zs")
+        proc.address_space.mmap(32)
+        establish_clients(cluster, src, proc, 27960, 2)
+        run_for(cluster, 0.2)
+        ev = migrate_process(src, dst, proc)
+        report = cluster.env.run(until=ev)
+        assert report.success
+        # Sampling after the migration must not blow up and the buffers
+        # must have drained (everything reinjected).
+        assert cluster.env.metrics.snapshot()[name] == 0.0
+
+    def test_peer_staleness_tracks_conductor(self, two_nodes):
+        from repro.middleware import install_conductor
+
+        cluster = two_nodes
+        cluster.enable_metrics()
+        scan = [n.local_ip for n in cluster.nodes]
+        for node in cluster.nodes:
+            install_conductor(node, scan, cluster.node_by_local_ip)
+        run_for(cluster, 3.0)
+        snap = cluster.env.metrics.snapshot()
+        p = node_metric_prefix(cluster.nodes[0])
+        # Heartbeats flow, so the oldest peer entry is recent.
+        assert 0.0 <= snap[f"{p}.cond.peer_staleness_s"] < 2.0
+        assert snap["cond.node1.peers_known"] >= 1
+        assert snap["cond.node1.peers_stale_total"] == 0

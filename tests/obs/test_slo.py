@@ -1,0 +1,77 @@
+"""The declarative SLO assertion engine."""
+
+import pytest
+
+from repro.obs import SLORule, evaluate_slos, parse_rule
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        r = parse_rule("freeze_time_p99 < 3.0")
+        assert r == SLORule("freeze_time_p99", "<", 3.0)
+
+    def test_parse_all_operators(self):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            assert parse_rule(f"m {op} 1").op == op
+
+    def test_parse_dotted_metric_and_whitespace(self):
+        r = parse_rule("  node.192.168.0.1.ip.drops==0 ")
+        assert r.metric == "node.192.168.0.1.ip.drops"
+        assert r.threshold == 0.0
+
+    def test_parse_scientific_threshold(self):
+        assert parse_rule("x < 2.5e-3").threshold == pytest.approx(0.0025)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "x", "x <", "< 3", "x ~ 3", "x < banana", "x = 3"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_rule(bad)
+
+    def test_rule_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            SLORule("m", "~", 1.0)
+
+
+class TestEvaluation:
+    def test_pass_and_fail_with_evidence(self):
+        report = evaluate_slos(
+            ["freeze < 3.0", "lost == 0"], {"freeze": 5.0, "lost": 0}
+        )
+        assert not report.passed
+        freeze, lost = report.checks
+        assert not freeze.passed and freeze.value == 5.0
+        assert "violates" in freeze.reason and "5" in freeze.reason
+        assert lost.passed and "satisfies" in lost.reason
+        assert report.failures == [freeze]
+
+    def test_missing_metric_fails_not_passes(self):
+        report = evaluate_slos(["ghost < 1"], {})
+        assert not report.passed
+        (check,) = report.checks
+        assert check.value is None
+        assert "not found" in check.reason
+
+    def test_accepts_rule_objects_and_strings(self):
+        report = evaluate_slos(
+            [SLORule("a", ">=", 2.0), "a <= 2"], {"a": 2.0}
+        )
+        assert report.passed
+
+    def test_boundary_semantics(self):
+        values = {"x": 10.0}
+        assert not evaluate_slos(["x < 10"], values).passed
+        assert evaluate_slos(["x <= 10"], values).passed
+        assert evaluate_slos(["x != 9"], values).passed
+
+    def test_to_dict_roundtrips_shape(self):
+        d = evaluate_slos(["a < 1"], {"a": 0.5}).to_dict()
+        assert d["passed"] is True
+        assert d["checks"][0]["rule"] == "a < 1"
+        assert d["checks"][0]["value"] == 0.5
+
+    def test_render_mentions_verdict(self):
+        text = evaluate_slos(["a < 1", "b < 1"], {"a": 0.5, "b": 2.0}).render()
+        assert "FAIL" in text and "PASS" in text
+        assert "1 SLO(s) violated" in text

@@ -131,3 +131,57 @@ class TestTraceCli:
 
     def test_cli_missing_file(self, tmp_path, capsys):
         assert trace_main([str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_cli_unknown_session_fails_clearly(self, two_nodes, tmp_path, capsys):
+        tracer, report = traced_migration(two_nodes, "collective")
+        path = write_jsonl(tmp_path / "trace.jsonl", tracer)
+        assert trace_main([str(path), "--session", "ghost>nowhere#7"]) != 0
+        err = capsys.readouterr().err
+        assert "no such session" in err
+        assert "ghost>nowhere#7" in err
+        # The error teaches the user what *is* in the trace.
+        assert report.session in err
+
+
+class TestInterleavedSessions:
+    """Two concurrent migrations of equal-pid processes into one node:
+    the JSONL interleaves both sessions and --session splits them."""
+
+    @staticmethod
+    def interleaved_trace(cluster):
+        tracer = cluster.env.enable_tracing()
+        dest = cluster.nodes[2]
+        pairs = []
+        for i, src in enumerate(cluster.nodes[:2]):
+            proc = src.kernel.spawn_process(f"zs{i}")
+            proc.address_space.mmap(48)
+            establish_clients(cluster, src, proc, 27960 + i, 2)
+            pairs.append((src, proc))
+        run_for(cluster, 0.2)
+        events = [migrate_process(src, dest, proc) for src, proc in pairs]
+        cluster.env.run(until=cluster.env.all_of(events))
+        reports = [ev.value for ev in events]
+        assert all(r.success for r in reports)
+        return tracer, reports
+
+    def test_slices_stay_separate(self, cluster):
+        tracer, reports = self.interleaved_trace(cluster)
+        slices = migration_slices(tracer.events)
+        assert len(slices) == 2
+        assert {sl.session for sl in slices} == {r.session for r in reports}
+        assert slices[0].session != slices[1].session
+
+    def test_cli_session_filter_on_interleaved_jsonl(
+        self, cluster, tmp_path, capsys
+    ):
+        tracer, reports = self.interleaved_trace(cluster)
+        path = write_jsonl(tmp_path / "trace.jsonl", tracer)
+        first, second = sorted(r.session for r in reports)
+        assert trace_main([str(path), "--session", first, "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert f"session={first}" in out
+        assert f"session={second}" not in out
+        # The unfiltered summary still shows both.
+        assert trace_main([str(path), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert first in out and second in out
