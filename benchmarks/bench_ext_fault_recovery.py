@@ -1,0 +1,159 @@
+"""Extension experiment: the cost of recovering a failed migration.
+
+The paper measures migrations that succeed.  With the fault plane
+(``repro.faults``) the destination can now fail at any protocol phase;
+this sweep aborts a migration at each phase boundary — negotiating,
+precopy, freeze, restoring — rolls back, and retries against a second
+candidate.  Reported per phase: end-to-end time to land the process
+(including rollback and backoff) and the overhead over a fault-free
+baseline, which grows the later the fault lands because more transferred
+state is thrown away.
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-sized run (smaller processes).
+"""
+
+import os
+
+from repro.analysis import render_table
+from repro.cluster import build_cluster
+from repro.core import (
+    LiveMigrationConfig,
+    RetryPolicy,
+    install_migd,
+    migrate_with_retry,
+)
+from repro.faults import MIGD_PHASES, FaultPlan, MigdAbort, install_faults
+from repro.testing import establish_clients, run_for
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+PAGES = 64 if QUICK else 256
+CLIENTS = 1 if QUICK else 2
+BACKOFF = 0.2
+
+
+def one(phase, pages=None, clients=None):
+    """One migration, aborted at ``phase`` (None = fault-free baseline)."""
+    pages = PAGES if pages is None else pages
+    clients = CLIENTS if clients is None else clients
+    cluster = build_cluster(n_nodes=3, with_db=False)
+    source, d1, d2 = cluster.nodes
+    proc = source.kernel.spawn_process("srv0")
+    area = proc.address_space.mmap(pages)
+    establish_clients(cluster, source, proc, 27960, clients)
+    run_for(cluster, 0.5)
+
+    def dirtier():
+        while True:
+            yield from proc.check_frozen()
+            proc.address_space.write_range(area, count=16)
+            yield cluster.env.timeout(0.01)
+
+    cluster.env.process(dirtier())
+    install_migd(d1)
+    install_migd(d2)
+    if phase is not None:
+        install_faults(
+            cluster, FaultPlan([MigdAbort(0.0, str(proc.pid), phase=phase)])
+        )
+
+    t0 = cluster.env.now
+    report = cluster.env.run(
+        until=cluster.env.process(
+            migrate_with_retry(
+                source,
+                [d1, d2],
+                proc,
+                LiveMigrationConfig(rpc_timeout=1.0),
+                policy=RetryPolicy(backoff_base=BACKOFF),
+            )
+        )
+    )
+    assert report is not None and report.success, f"phase={phase} did not recover"
+    expected_dest = d1 if phase is None else d2
+    assert proc.kernel is expected_dest.kernel
+    return {
+        "phase": phase or "(none)",
+        "total_ms": (cluster.env.now - t0) * 1e3,
+        "freeze_ms": report.freeze_time * 1e3,
+    }
+
+
+def run():
+    rows = [one(None)]
+    baseline = rows[0]["total_ms"]
+    for phase in MIGD_PHASES:
+        row = one(phase)
+        row["overhead_ms"] = row["total_ms"] - baseline
+        rows.append(row)
+    rows[0]["overhead_ms"] = 0.0
+    return rows
+
+
+def bench_result(quick: bool) -> dict:
+    """Recordable run for ``repro-bench`` (see repro.obs.bench)."""
+    from repro.obs import Histogram, evaluate_slos
+
+    pages = 64 if quick else 256
+    clients = 1 if quick else 2
+    baseline = one(None, pages=pages, clients=clients)
+    rows = [one(p, pages=pages, clients=clients) for p in MIGD_PHASES]
+
+    hist = Histogram("recovered_total_ms")
+    for r in rows:
+        hist.observe(r["total_ms"])
+
+    lower = {"unit": "ms", "direction": "lower"}
+    overhead = max(r["total_ms"] - baseline["total_ms"] for r in rows)
+    metrics = {
+        "baseline_total_ms": {"value": baseline["total_ms"], **lower},
+        "recovered_total_max_ms": {
+            "value": max(r["total_ms"] for r in rows), **lower
+        },
+        "recovery_overhead_max_ms": {"value": overhead, **lower},
+        "recovered_freeze_max_ms": {
+            "value": max(r["freeze_ms"] for r in rows), **lower
+        },
+    }
+    values = {k: m["value"] for k, m in metrics.items()}
+    slos = evaluate_slos(
+        # Recovery stays the same order of magnitude as the migration
+        # itself: one wasted attempt plus one backoff, not a spiral.
+        [
+            "recovery_overhead_max_ms < 2000",
+            "recovered_freeze_max_ms < 150",
+        ],
+        values,
+    )
+    return {
+        "params": {
+            "pages": pages,
+            "clients": clients,
+            "phases": list(MIGD_PHASES),
+            "backoff_base": BACKOFF,
+        },
+        "metrics": metrics,
+        "histograms": {"recovered_total_ms": hist.summary()},
+        "slos": slos.to_dict(),
+    }
+
+
+def test_ext_fault_recovery(once):
+    rows = once(run)
+    print()
+    print(
+        render_table(
+            ["abort phase", "total (ms)", "overhead (ms)", "freeze (ms)"],
+            [
+                (r["phase"], r["total_ms"], r["overhead_ms"], r["freeze_ms"])
+                for r in rows
+            ],
+            title="Extension: recovery cost by fault phase",
+        )
+    )
+    by_phase = {r["phase"]: r for r in rows}
+    # Every faulted run recovered (asserted inside one()), and a fault
+    # after the freeze wastes at least as much work as one before the
+    # precopy started: overhead grows with how late the fault lands.
+    assert by_phase["freeze"]["overhead_ms"] >= by_phase["negotiating"]["overhead_ms"]
+    for r in rows:
+        assert r["freeze_ms"] < 150.0

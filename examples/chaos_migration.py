@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Chaos-testing a live migration: crash the destination, recover.
+
+The paper assumes healthy nodes; this example exercises the fault plane
+(``repro.faults``) built on top of it.  A fault plan written in the
+one-liner DSL crashes the chosen destination *mid-precopy* and keeps a
+lossy link throughout.  The retry driver rolls the half-finished
+migration back — process and sockets intact on the source — backs off,
+and lands the process on the second candidate.
+
+Run:  python examples/chaos_migration.py [--trace OUT.jsonl]
+
+Inspect the run afterwards with the trace CLI:
+
+    python examples/chaos_migration.py --trace chaos.jsonl
+    repro-trace chaos.jsonl --faults
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.cluster import build_cluster
+from repro.core import (
+    LiveMigrationConfig,
+    RetryPolicy,
+    install_migd,
+    migrate_with_retry,
+)
+from repro.faults import install_faults, parse_plan
+from repro.obs import render_fault_report, trace_to_jsonl
+from repro.testing import establish_clients, run_for
+
+#: The chaos scenario, in the fault DSL.  Times are absolute simulated
+#: seconds: clients settle by t=1.5, the migration starts right after.
+FAULT_PLAN = """
+# node2 is the first-ranked destination: its switch port is lossy
+# from the start, and the node dies outright mid-precopy.
+t=0 loss link node2 rate=0.05
+t=1.51 crash node node2
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="OUT", help="write the trace as JSONL")
+    args = parser.parse_args()
+
+    cluster = build_cluster(n_nodes=3, with_db=False)
+    tracer = cluster.env.enable_tracing()
+    node1, node2, node3 = cluster.nodes
+
+    # A zone server with four connected clients on node1.
+    proc = node1.kernel.spawn_process("zone_serv0")
+    proc.address_space.mmap(128, tag="world-state")
+    _, children, clients = establish_clients(cluster, node1, proc, 27960, 4)
+    run_for(cluster, 0.5)
+
+    install_migd(node2)
+    install_migd(node3)
+
+    plan = parse_plan(FAULT_PLAN)
+    print("fault plan:")
+    for fault in plan:
+        print(f"  {fault.describe()}")
+    install_faults(cluster, plan)
+
+    print(f"\nmigrating pid {proc.pid} off {node1.name}; "
+          f"candidates: {node2.name}, {node3.name}")
+    mig = cluster.env.process(
+        migrate_with_retry(
+            node1,
+            [node2, node3],
+            proc,
+            LiveMigrationConfig(rpc_timeout=1.0),
+            policy=RetryPolicy(backoff_base=0.5),
+        )
+    )
+    report = cluster.env.run(until=mig)
+    run_for(cluster, 0.5)
+
+    print(f"\nmigration {'landed' if report.success else 'FAILED'} on "
+          f"{report.destination} (process now on {proc.kernel.node_name})")
+
+    print("\nwhat the trace saw:")
+    for ev in tracer.events:
+        if ev.name in ("fault.node.crash", "mig.rollback.start",
+                       "recover.backoff", "recover.retry", "mig.complete"):
+            detail = {k: v for k, v in ev.fields.items()
+                      if k in ("node", "session", "attempt", "delay", "dest")}
+            print(f"  t={ev.time:7.3f}  {ev.name:20s} {detail}")
+
+    print()
+    print(render_fault_report(tracer.events))
+
+    if args.trace:
+        Path(args.trace).write_text(trace_to_jsonl(tracer))
+        print(f"\ntrace written to {args.trace}")
+
+    assert report.success, "chaos scenario did not recover"
+    assert proc.kernel.node_name == node3.name
+
+
+if __name__ == "__main__":
+    main()

@@ -28,7 +28,19 @@ Quick start::
     print(report.summary())
 """
 
-from . import analysis, blcr, core, des, dve, middleware, net, openarena, oskern, tcpip
+from . import (
+    analysis,
+    blcr,
+    core,
+    des,
+    dve,
+    faults,
+    middleware,
+    net,
+    openarena,
+    oskern,
+    tcpip,
+)
 from .cluster import Cluster, ClusterConfig, build_cluster
 
 __version__ = "1.0.0"
@@ -43,6 +55,7 @@ __all__ = [
     "tcpip",
     "blcr",
     "core",
+    "faults",
     "middleware",
     "openarena",
     "dve",

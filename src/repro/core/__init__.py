@@ -15,12 +15,20 @@ processes with massive numbers of network connections.
   for in-cluster peers;
 - :mod:`migd` — the migration daemon and bulk transfer channel;
 - :mod:`tracking` — VMA-list change tracking;
-- :mod:`stats` — migration reports (freeze time, per-phase bytes).
+- :mod:`stats` — migration reports (freeze time, per-phase bytes);
+- :mod:`recovery` — retry-with-backoff on top of the rollback path.
 """
 
 from .capture import CaptureFilter, CaptureService, capture_key_for, install_capture_service
-from .migd import MIGD_PORT, MigrationChannel, MigrationDaemon, install_migd
+from .migd import (
+    DEFAULT_RPC_TIMEOUT,
+    MIGD_PORT,
+    MigrationChannel,
+    MigrationDaemon,
+    install_migd,
+)
 from .precopy import LiveMigrationConfig, LiveMigrationEngine, migrate_process
+from .recovery import RetryPolicy, migrate_with_retry
 from .session import MigrationSession, SessionId, SessionState
 from .sockmig import (
     SocketRecord,
@@ -50,6 +58,8 @@ __all__ = [
     "LiveMigrationConfig",
     "LiveMigrationEngine",
     "migrate_process",
+    "RetryPolicy",
+    "migrate_with_retry",
     "MigrationSession",
     "SessionId",
     "SessionState",
@@ -83,6 +93,7 @@ __all__ = [
     "MigrationChannel",
     "install_migd",
     "MIGD_PORT",
+    "DEFAULT_RPC_TIMEOUT",
     "VMATracker",
     "VMADiff",
 ]

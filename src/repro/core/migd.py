@@ -29,9 +29,21 @@ from ..oskern.node import Host
 from .capture import CaptureService, install_capture_service
 from .sockmig import SocketStaging, disable_socket, reenable_socket, restore_sockets
 
-__all__ = ["MIGD_PORT", "MigrationChannel", "MigrationDaemon", "install_migd"]
+__all__ = [
+    "DEFAULT_RPC_TIMEOUT",
+    "MIGD_PORT",
+    "MigrationChannel",
+    "MigrationDaemon",
+    "install_migd",
+]
 
 MIGD_PORT = 7100
+
+#: Fallback protocol-silence bound for bulk-channel requests.  Sessions
+#: resolve a ``None`` rpc_timeout to this instead of waiting forever:
+#: a destination that crashes or partitions mid-stream must surface as
+#: an RpcError (and hence a rollback), never as a hung migration.
+DEFAULT_RPC_TIMEOUT = 60.0
 
 
 class MigrationChannel:
@@ -220,6 +232,29 @@ class MigrationDaemon:
     def inbound_for(self, pid: int) -> list[_Inbound]:
         """All in-flight staging buffers for a pid (test/debug helper)."""
         return [st for st in self._inbound.values() if st.pid == pid]
+
+    def fail_session(self, key: Any) -> None:
+        """Fault-injection entry point: mark a session's staging failed
+        *without* discarding it.
+
+        Unlike :meth:`_abort` (driven by the source's rollback, which
+        wants the staging gone), the buffer stays registered so the
+        still-inbound freeze request finds it, sees ``aborted`` and
+        backs out with an error reply — exactly the wire behaviour of a
+        migd that died mid-session.
+        """
+        st = self._inbound.get(key)
+        if st is None:
+            return
+        st.aborted = True
+        if st.capture_keys:
+            self.capture.disable(st.capture_keys)
+            st.capture_keys.clear()
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "migd.fail", pid=st.pid, session=st.session, node=self.host.name
+            )
 
     def _abort(self, key: Any) -> None:
         st = self._inbound.pop(key, None)

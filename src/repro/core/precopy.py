@@ -58,7 +58,10 @@ class LiveMigrationConfig:
     #: estimation and (when the destination booted later) PAWS checks.
     adjust_timestamps: bool = True
     #: Give up on the destination after this much protocol silence and
-    #: roll the process back on the source (None disables the timeout).
+    #: roll the process back on the source.  ``None`` falls back to the
+    #: channel's :data:`~repro.core.migd.DEFAULT_RPC_TIMEOUT` — a
+    #: migration never waits forever, so a crash or partition
+    #: mid-stream aborts instead of hanging.
     rpc_timeout: Optional[float] = 30.0
 
     def with_overrides(self, **kw) -> "LiveMigrationConfig":

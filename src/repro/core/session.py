@@ -22,7 +22,7 @@ from typing import Optional
 
 from ..oskern import SimProcess
 from ..oskern.node import Host
-from .migd import MIGD_PORT, MigrationChannel
+from .migd import DEFAULT_RPC_TIMEOUT, MIGD_PORT, MigrationChannel
 from .sockmig import SocketTracker
 from .stats import MigrationReport
 from .strategies import MigrationContext, SocketMigrationStrategy
@@ -96,6 +96,11 @@ class MigrationSession:
         dump_user_queues: bool = True,
         rpc_timeout: Optional[float] = None,
     ) -> None:
+        if rpc_timeout is None:
+            # A session must never wait forever: a mid-stream partition
+            # or crashed destination has to surface as an RpcError so
+            # the engine can roll back and the conductor can retry.
+            rpc_timeout = DEFAULT_RPC_TIMEOUT
         self.id = SessionId(source=source.name, dest=dest.name, pid=proc.pid)
         self.label = str(self.id)
         self.source = source
@@ -133,6 +138,7 @@ class MigrationSession:
         #: relocation: departure records and rules moved to the dest.
         self.tombstone_keys: list = []
         self.relocated_rules: list = []
+        self._rolled_back = False
 
     # -- state machine ------------------------------------------------------
     @property
@@ -146,6 +152,12 @@ class MigrationSession:
                 f"session {self.label}: illegal transition "
                 f"{self.state.value} -> {to.value}"
             )
+        # Designated fault point (see repro.faults): an armed injector
+        # may fail this boundary — raising MigdAbortInjected (an
+        # RpcError, so the engine rolls back) or failing the
+        # destination's staging before the transition commits.
+        if self.env.faults is not None:
+            self.env.faults.on_transition(self, self.state, to)
         tr = self.env.tracer
         if tr.enabled:
             tr.event(
@@ -166,15 +178,22 @@ class MigrationSession:
         staging and filters, re-register the process locally, rehash
         every already-subtracted socket, and retract/restore the
         translation state the migration had already moved.
+
+        Idempotent: a second call — e.g. a retry loop rolling back a
+        session whose engine already did — is a no-op, as is calling it
+        on a session that reached a terminal state by other means
+        (nothing to undo after DONE; ABORTED means the undo already ran).
         """
         from .sockmig import reenable_socket
         from .translation import TRANSD_PORT, TranslationRule, install_transd
 
+        if self._rolled_back or self.terminal:
+            return
+        self._rolled_back = True
         proc = self.proc
         kernel = self.source.kernel
         tr = self.env.tracer
-        if not self.terminal:
-            self.transition(SessionState.ABORTED)
+        self.transition(SessionState.ABORTED)
         if tr.enabled:
             tr.event("mig.rollback.start", pid=proc.pid, session=self.label)
         # Best effort: tell the destination to drop its staging/filters.

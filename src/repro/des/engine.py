@@ -47,6 +47,11 @@ class Environment:
         self.tracer = NULL_TRACER
         #: Metrics registry, created lazily by :meth:`enable_metrics`.
         self._metrics: Optional[MetricsRegistry] = None
+        #: Armed fault-injection plane (:class:`repro.faults.FaultInjector`)
+        #: or ``None``.  Components with designated fault points (e.g.
+        #: :meth:`repro.core.session.MigrationSession.transition`) consult
+        #: it; everything stays a no-op while it is ``None``.
+        self.faults = None
 
     # -- clock ------------------------------------------------------------
     @property

@@ -1,0 +1,112 @@
+"""One-liner fault syntax.
+
+Each non-blank, non-comment line describes one fault::
+
+    t=<time> <kind> <scope> <target> [key=value ...]
+
+    t=5.0 crash node node2
+    t=2 stall node node3 duration=1.5
+    t=0.5 loss link node2 rate=0.2 duration=3
+    t=1 partition link node2 duration=2
+    t=0 corrupt link dbserver rate=0.05
+    t=0 abort migd * phase=freeze
+
+The grammar round-trips: :meth:`repro.faults.plan.FaultPlan.describe`
+emits exactly this syntax, and ``parse_plan(plan.describe())`` rebuilds
+an equivalent plan.  ``#`` starts a comment (whole line or trailing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .plan import (
+    Fault,
+    FaultPlan,
+    LinkLoss,
+    LinkPartition,
+    MigdAbort,
+    NodeCrash,
+    NodeStall,
+    PacketCorrupt,
+)
+
+__all__ = ["parse_fault", "parse_plan", "KINDS"]
+
+#: DSL verb -> fault class.
+KINDS = {
+    cls.kind: cls
+    for cls in (NodeCrash, NodeStall, LinkLoss, LinkPartition, PacketCorrupt, MigdAbort)
+}
+
+#: Option keys each class accepts beyond (at, target), with their parsers.
+_OPTION_PARSERS = {"duration": float, "rate": float, "phase": str}
+
+
+def _options_of(cls) -> set[str]:
+    return {
+        f.name for f in dataclasses.fields(cls) if f.name not in ("at", "target")
+    }
+
+
+def parse_fault(line: str) -> Fault:
+    """Parse one DSL line into a :class:`~repro.faults.plan.Fault`.
+
+    Raises :class:`ValueError` on any malformed input, with the
+    offending line quoted.
+    """
+    src = line
+    line = line.split("#", 1)[0].strip()
+    tokens = line.split()
+    if len(tokens) < 4:
+        raise ValueError(
+            f"fault line needs 't=<time> <kind> <scope> <target>': {src!r}"
+        )
+    t_tok, kind, scope, target = tokens[:4]
+    if not t_tok.startswith("t="):
+        raise ValueError(f"fault line must start with t=<time>: {src!r}")
+    try:
+        at = float(t_tok[2:])
+    except ValueError:
+        raise ValueError(f"bad fault time {t_tok!r} in {src!r}") from None
+    cls = KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r} in {src!r} "
+            f"(known: {', '.join(sorted(KINDS))})"
+        )
+    if scope != cls.scope:
+        raise ValueError(
+            f"fault kind {kind!r} takes scope {cls.scope!r}, got {scope!r} in {src!r}"
+        )
+    allowed = _options_of(cls)
+    kwargs = {}
+    for tok in tokens[4:]:
+        key, sep, value = tok.partition("=")
+        if not sep or key not in allowed:
+            raise ValueError(
+                f"unknown option {tok!r} for {kind!r} in {src!r} "
+                f"(allowed: {', '.join(sorted(allowed)) or 'none'})"
+            )
+        try:
+            kwargs[key] = _OPTION_PARSERS[key](value)
+        except ValueError:
+            raise ValueError(f"bad value for {key!r} in {src!r}") from None
+    try:
+        return cls(at, target, **kwargs)
+    except ValueError as exc:
+        raise ValueError(f"{exc} (in {src!r})") from None
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse a multi-line DSL document into a :class:`FaultPlan`.
+
+    Blank lines and ``#`` comments are skipped.
+    """
+    plan = FaultPlan()
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        plan.add(parse_fault(stripped))
+    return plan

@@ -15,6 +15,7 @@ from .conductor import (
 )
 from .conductor import MigrationEvent
 from .consolidation import ConsolidationConfig, Consolidator
+from .detector import ALIVE, DEAD, FailureDetector, PeerHealth, SUSPECT
 from .loadinfo import LoadInfo, PeerDatabase
 from .monitor import LoadMonitor
 from .policies import (
@@ -50,4 +51,9 @@ __all__ = [
     "install_conductor",
     "Consolidator",
     "ConsolidationConfig",
+    "FailureDetector",
+    "PeerHealth",
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
 ]

@@ -15,10 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Optional
 
-from ..core import LiveMigrationConfig, LiveMigrationEngine, MigrationReport
+from ..core import (
+    LiveMigrationConfig,
+    LiveMigrationEngine,
+    MigrationReport,
+    RetryPolicy,
+)
 from ..net import IPAddr
 from ..oskern import SimProcess
 from ..oskern.node import Host
+from .detector import FailureDetector
 from .loadinfo import LoadInfo, PeerDatabase
 from .monitor import LoadMonitor
 from .policies import (
@@ -47,6 +53,23 @@ class ConductorConfig:
     monitor_interval: float = 1.0
     #: Heartbeats older than this mark a departed peer.
     peer_stale_timeout: float = 5.0
+    #: Control RPCs to peers (discover, reserve) fail after this much
+    #: silence instead of hanging the calling loop — a crashed or
+    #: partitioned peer must look like an error, not a stuck conductor.
+    peer_rpc_timeout: float = 2.0
+    #: Failure detector: silence past this marks a peer *suspect* (no
+    #: new work is sent its way) ...
+    suspect_timeout: float = 2.5
+    #: ... and past this marks it *dead* (in-flight sessions targeting
+    #: it should abort, roll back and retry elsewhere).
+    dead_timeout: float = 5.0
+    #: Heartbeat-period jitter fraction (±10% by default), drawn from a
+    #: per-node seeded stream, so a cluster's conductors neither
+    #: heartbeat in lockstep nor desynchronize between runs.
+    heartbeat_jitter: float = 0.1
+    #: Retry-with-backoff budget applied when a migration attempt fails
+    #: and other ranked candidates remain.
+    retry: RetryPolicy = dataclass_field(default_factory=RetryPolicy)
     #: Indicator stabilisation period after a migration (Section IV-A).
     calm_down: float = 10.0
     #: How many ranked receiver candidates to try per round.
@@ -97,6 +120,12 @@ class Conductor:
 
         self.monitor = LoadMonitor(host, interval=cfg.monitor_interval)
         self.peers = PeerDatabase(stale_timeout=cfg.peer_stale_timeout)
+        self.detector = FailureDetector(
+            self.env,
+            suspect_timeout=cfg.suspect_timeout,
+            dead_timeout=cfg.dead_timeout,
+            node=host.name,
+        )
         self.admission = MigrationAdmission(
             self.env, capacity=cfg.admission_capacity, calm_down=cfg.calm_down
         )
@@ -113,6 +142,10 @@ class Conductor:
         self.migrations_initiated = 0
         self.migrations_received = 0
         self.reserve_rejections = 0
+        #: Failed migration attempts (each may trigger a retry) and
+        #: processes given up on after the retry budget ran out.
+        self.retries_total = 0
+        self.giveups_total = 0
         self.enabled = True
 
         metrics = self.env.metrics
@@ -132,6 +165,20 @@ class Conductor:
             metrics.gauge(
                 f"cond.{host.name}.peers_stale_total",
                 fn=lambda: self.peers.stale_total,
+            )
+            metrics.gauge(
+                f"cond.{host.name}.peers_suspect",
+                fn=lambda: len(self.detector.suspects()),
+            )
+            metrics.gauge(
+                f"cond.{host.name}.peers_dead_total",
+                fn=lambda: self.detector.deaths_total,
+            )
+            metrics.gauge(
+                f"cond.{host.name}.retries_total", fn=lambda: self.retries_total
+            )
+            metrics.gauge(
+                f"cond.{host.name}.giveups_total", fn=lambda: self.giveups_total
             )
 
         host.control.register(CONDUCTOR_PORT, self._handle)
@@ -182,10 +229,12 @@ class Conductor:
         if op == "discover":
             # Mutual exchange: learn the prober, tell it about us.
             self.peers.update(body["info"])
+            self.detector.heard_from(body["info"].local_ip, body["info"].node_name)
             if respond:
                 respond({"info": self.load_info()})
         elif op == "heartbeat":
             self.peers.update(body["info"])
+            self.detector.heard_from(body["info"].local_ip, body["info"].node_name)
         elif op == "reserve":
             ok = self.admission.try_reserve(body["sender"])
             if not ok:
@@ -221,6 +270,7 @@ class Conductor:
                 respond({"ok": True})
         elif op == "leave":
             self.peers.remove(src_ip)
+            self.detector.forget(src_ip)
             if respond:
                 respond({"ok": True})
         else:
@@ -233,16 +283,36 @@ class Conductor:
         for ip in self.scan_ips:
             try:
                 reply = yield self.host.control.rpc(
-                    ip, CONDUCTOR_PORT, {"op": "discover", "info": self.load_info()}, size=128
+                    ip,
+                    CONDUCTOR_PORT,
+                    {"op": "discover", "info": self.load_info()},
+                    size=128,
+                    timeout=self.config.peer_rpc_timeout,
                 )
                 self.peers.update(reply["info"])
             except Exception:
                 continue  # nobody answering on that address
 
     def _heartbeat_loop(self):
+        # Jitter each period by ±heartbeat_jitter, from a per-node
+        # seeded stream (same deterministic-hash trick as the balance
+        # loop's phase offset): conductors drift apart instead of
+        # heartbeating in lockstep, yet every run replays identically.
+        import zlib
+
+        import numpy as np
+
+        jitter_rng = np.random.default_rng(
+            zlib.crc32(self.host.local_ip.value.encode())
+        )
+        jitter = self.config.heartbeat_jitter
         while True:
-            yield self.env.timeout(self.information.interval)
+            period = self.information.interval
+            if jitter:
+                period *= 1.0 + jitter * (2.0 * jitter_rng.random() - 1.0)
+            yield self.env.timeout(period)
             self.peers.prune_stale(self.env.now)
+            self.detector.check()
             info = self.load_info()
             tr = self.env.tracer
             if tr.enabled:
@@ -331,28 +401,78 @@ class Conductor:
             self._outbound.discard(proc)
 
     def _try_migrate(self, proc: SimProcess, candidates: list[LoadInfo]):
+        """Walk the ranked candidates with retry-with-backoff.
+
+        A failed attempt leaves the process safe on the source (the
+        engine rolled back), so recovery is policy: back off, consult
+        the failure detector again, and try the next candidate, until
+        the retry budget runs out.  A reserve that goes unanswered also
+        burns an attempt — that silence is exactly what a dead
+        destination looks like before the detector has declared it.
+        """
         me = self.host.name
         if not self.admission.try_reserve(me):
             return
+        policy = self.config.retry
+        tr = self.env.tracer
+        attempt = 0
+        failed = 0
         for candidate in candidates:
+            if attempt >= policy.max_attempts:
+                break
+            if attempt > 0:
+                delay = policy.backoff(attempt - 1)
+                if tr.enabled:
+                    tr.event(
+                        "recover.backoff",
+                        node=me,
+                        pid=proc.pid,
+                        attempt=attempt,
+                        delay=delay,
+                    )
+                yield self.env.timeout(delay)
+            if not self.detector.usable(candidate.local_ip):
+                if tr.enabled:
+                    tr.event(
+                        "recover.skip",
+                        node=me,
+                        pid=proc.pid,
+                        dest=candidate.node_name,
+                        state=self.detector.state(candidate.local_ip),
+                    )
+                continue
             try:
                 reply = yield self.host.control.rpc(
                     candidate.local_ip,
                     CONDUCTOR_PORT,
                     {"op": "reserve", "sender": me},
                     size=96,
+                    timeout=self.config.peer_rpc_timeout,
                 )
             except Exception:
+                attempt += 1
+                failed += 1
+                self.retries_total += 1
+                if tr.enabled:
+                    tr.event(
+                        "recover.retry",
+                        node=me,
+                        pid=proc.pid,
+                        attempt=attempt,
+                        dest=candidate.node_name,
+                        error="reserve unanswered",
+                    )
                 continue
+            self.detector.heard_from(candidate.local_ip, candidate.node_name)
             self.peers.update(reply["info"])
             if not reply["ok"]:
+                # Busy, not broken: next candidate, no budget burned.
                 continue
             # Phase 2: committed — run the live migration.
             dest = self.resolve_host(candidate.local_ip)
             self.migrations_initiated += 1
             engine = LiveMigrationEngine(self.host, dest, proc, self.config.migration)
             session = engine.session.label
-            tr = self.env.tracer
             if tr.enabled:
                 tr.event(
                     "cond.decision",
@@ -361,9 +481,9 @@ class Conductor:
                     session=session,
                     proc=proc.name,
                     dest=dest.name,
+                    attempt=attempt,
                 )
             report: MigrationReport = yield engine.start()
-            self.unmanage(proc)
             self.events.append(
                 MigrationEvent(
                     time=self.env.now,
@@ -376,15 +496,44 @@ class Conductor:
                     session=session,
                 )
             )
+            # Release the receiver's slot either way; only a committed
+            # release transfers management of the process to it.
             self.host.control.send(
                 candidate.local_ip,
                 CONDUCTOR_PORT,
-                {"op": "release", "sender": me, "committed": True, "pid": proc.pid},
+                {
+                    "op": "release",
+                    "sender": me,
+                    "committed": report.success,
+                    "pid": proc.pid,
+                },
                 size=96,
             )
-            self.admission.release(me, start_calm_down=True)
-            return
-        # Nobody accepted: abort our own reservation without calm-down.
+            if report.success:
+                self.unmanage(proc)
+                self.admission.release(me, start_calm_down=True)
+                return
+            attempt += 1
+            failed += 1
+            self.retries_total += 1
+            if tr.enabled:
+                tr.event(
+                    "recover.retry",
+                    node=me,
+                    pid=proc.pid,
+                    session=session,
+                    attempt=attempt,
+                    dest=dest.name,
+                    error=report.error,
+                )
+        if failed:
+            self.giveups_total += 1
+            if tr.enabled:
+                tr.event(
+                    "recover.giveup", node=me, pid=proc.pid, attempts=attempt
+                )
+        # Nobody accepted (or nothing landed): abort our own reservation
+        # without calm-down — the process is still here to balance.
         self.admission.release(me, start_calm_down=False)
 
 

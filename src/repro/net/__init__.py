@@ -1,7 +1,7 @@
 """Network substrate: addresses, packets, links, NICs, router, switch."""
 
 from .addr import Endpoint, FlowKey, IPAddr, PROTO_CTL, PROTO_TCP, PROTO_UDP
-from .link import Link
+from .link import CORRUPT, DROP, Link, LinkFaultFilter, LinkTap
 from .nic import Interface, LOCAL, PUBLIC
 from .packet import (
     IP_HEADER_BYTES,
@@ -31,6 +31,10 @@ __all__ = [
     "TCP_HEADER_BYTES",
     "UDP_HEADER_BYTES",
     "Link",
+    "LinkTap",
+    "LinkFaultFilter",
+    "DROP",
+    "CORRUPT",
     "Interface",
     "PUBLIC",
     "LOCAL",

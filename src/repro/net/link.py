@@ -14,10 +14,21 @@ from typing import Callable, Optional
 from ..des import Environment
 from .packet import Packet
 
-__all__ = ["Link", "LinkTap"]
+__all__ = ["Link", "LinkTap", "LinkFaultFilter", "DROP", "CORRUPT"]
 
 #: Signature of a wire tap: (time, packet, from_side)
 LinkTap = Callable[[float, Packet, int], None]
+
+#: Verdicts a fault filter may return (``None`` delivers normally).
+DROP = "drop"
+CORRUPT = "corrupt"
+
+#: Signature of a fault filter: (time, packet, from_side) -> verdict.
+#: Installed by the fault-injection plane (:mod:`repro.faults`); a
+#: non-``None`` verdict suppresses delivery.  The packet still occupies
+#: transmit time — a lossy or partitioned wire serializes bits that
+#: never arrive, it does not refund bandwidth.
+LinkFaultFilter = Callable[[float, Packet, int], Optional[str]]
 
 
 class Link:
@@ -43,7 +54,11 @@ class Link:
         self._busy_until = [0.0, 0.0]
         self.bytes_sent = [0, 0]
         self.packets_sent = [0, 0]
+        #: Packets suppressed per direction by the fault filter.
+        self.packets_dropped = [0, 0]
+        self.packets_corrupted = [0, 0]
         self._taps: list[LinkTap] = []
+        self._fault_filter: Optional[LinkFaultFilter] = None
 
     def attach(self, side: int, receiver: Callable[[Packet], None]) -> None:
         """Attach the receive callback for one side (0 or 1)."""
@@ -56,6 +71,19 @@ class Link:
     def add_tap(self, tap: LinkTap) -> None:
         """Register a tcpdump-like wire tap, called at transmit start."""
         self._taps.append(tap)
+
+    def set_fault_filter(self, fn: LinkFaultFilter) -> None:
+        """Install the (single) fault filter deciding per-packet fate.
+
+        One filter per link: the fault-injection plane multiplexes all
+        of a link's scheduled faults behind it.
+        """
+        if self._fault_filter is not None:
+            raise RuntimeError(f"link {self.name!r} already has a fault filter")
+        self._fault_filter = fn
+
+    def clear_fault_filter(self) -> None:
+        self._fault_filter = None
 
     def tx_time(self, packet: Packet) -> float:
         """Serialization time of a packet on this link."""
@@ -83,6 +111,17 @@ class Link:
         self.packets_sent[from_side] += 1
         for tap in self._taps:
             tap(start, packet, from_side)
+
+        if self._fault_filter is not None:
+            verdict = self._fault_filter(start, packet, from_side)
+            if verdict is not None:
+                # The bits crossed (or jammed) the wire but never reach
+                # the receiver; the sender learns nothing at this layer.
+                if verdict == CORRUPT:
+                    self.packets_corrupted[from_side] += 1
+                else:
+                    self.packets_dropped[from_side] += 1
+                return arrival
 
         ev = self.env.event()
         ev.callbacks.append(lambda _ev: receiver(packet))

@@ -31,10 +31,16 @@ class Interface:
         self._link: Optional[Link] = None
         self._side: int = 0
         self._rx_handler: Optional[Callable[[Packet, "Interface"], None]] = None
+        #: Administrative state: a downed interface (crashed or stalled
+        #: node, see :mod:`repro.faults`) silently drops traffic both
+        #: ways, like a machine whose NIC stopped answering.
+        self.up = True
         self.rx_packets = 0
         self.tx_packets = 0
         self.rx_bytes = 0
         self.tx_bytes = 0
+        self.tx_dropped = 0
+        self.rx_dropped = 0
 
     def connect(self, link: Link, side: int) -> None:
         """Plug this interface into one side of a link."""
@@ -65,11 +71,19 @@ class Interface:
         """Send a packet out this interface; returns delivery time."""
         if self._link is None:
             raise RuntimeError(f"{self.name} is not connected")
+        if not self.up:
+            self.tx_dropped += 1
+            return self._link.env.now
         self.tx_packets += 1
         self.tx_bytes += packet.size
         return self._link.send(packet, self._side)
 
     def _deliver(self, packet: Packet) -> None:
+        if not self.up:
+            # Checked at delivery time, so a crash mid-flight also eats
+            # packets that were already on the wire.
+            self.rx_dropped += 1
+            return
         self.rx_packets += 1
         self.rx_bytes += packet.size
         if self._rx_handler is not None:

@@ -19,9 +19,11 @@ namespace, the SLO rule syntax and the ``BENCH_*.json`` schema.
 
 from .export import (
     MigrationSlice,
+    fault_kinds,
     migration_slices,
     phase_byte_sums,
     read_jsonl,
+    render_fault_report,
     render_timeline,
     render_trace_summary,
     trace_to_jsonl,
@@ -66,4 +68,6 @@ __all__ = [
     "phase_byte_sums",
     "render_timeline",
     "render_trace_summary",
+    "fault_kinds",
+    "render_fault_report",
 ]

@@ -6,6 +6,8 @@ Usage::
     repro-trace trace.jsonl --pid 1000 --timeline
     repro-trace trace.jsonl --session 'node1>node2#1000' --timeline
     repro-trace trace.jsonl --summary
+    repro-trace trace.jsonl --faults          # all injected faults
+    repro-trace trace.jsonl --faults crash    # one fault kind
 
 With no mode flag both the summary table and the per-migration phase
 timelines are printed.
@@ -18,7 +20,14 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from .export import migration_slices, read_jsonl, render_timeline, render_trace_summary
+from .export import (
+    fault_kinds,
+    migration_slices,
+    read_jsonl,
+    render_fault_report,
+    render_timeline,
+    render_trace_summary,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -36,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--session",
         default=None,
         help="only this migration session (id like 'node1>node2#1000')",
+    )
+    parser.add_argument(
+        "--faults",
+        nargs="?",
+        const="all",
+        default=None,
+        metavar="KIND",
+        help="also list injected faults and recovery decisions, "
+        "optionally filtered to one fault kind (e.g. 'crash')",
     )
     parser.add_argument(
         "--timeline", action="store_true", help="print only the phase timelines"
@@ -76,11 +94,29 @@ def main(argv: Optional[list[str]] = None) -> int:
                     "known sessions: " + ", ".join(known), file=sys.stderr
                 )
             return 3
+    if args.faults is not None and args.faults != "all":
+        known = fault_kinds(events)
+        if args.faults not in known:
+            print(
+                f"repro-trace: no such fault kind {args.faults!r} in {args.trace}",
+                file=sys.stderr,
+            )
+            if known:
+                print("known fault kinds: " + ", ".join(known), file=sys.stderr)
+            return 3
     show_summary = args.summary or not args.timeline
     show_timeline = args.timeline or not args.summary
     if show_summary:
         print(render_trace_summary(events))
-    if show_summary and show_timeline:
+    if args.faults is not None:
+        if show_summary:
+            print()
+        print(
+            render_fault_report(
+                events, kind=None if args.faults == "all" else args.faults
+            )
+        )
+    if (show_summary or args.faults is not None) and show_timeline:
         print()
     if show_timeline:
         print(

@@ -23,6 +23,8 @@ __all__ = [
     "read_jsonl",
     "migration_slices",
     "phase_byte_sums",
+    "fault_kinds",
+    "render_fault_report",
     "render_timeline",
     "render_trace_summary",
 ]
@@ -35,6 +37,7 @@ CAPTURE_REQUEST = "capture.request"
 MIG_START = "mig.start"
 MIG_COMPLETE = "mig.complete"
 MIG_ABORT = "mig.abort"
+FAULT_INJECTED = "fault.injected"
 
 
 def _jsonable(value):
@@ -178,6 +181,98 @@ def phase_byte_sums(sl: MigrationSlice) -> dict[str, int]:
         elif ev.name == CAPTURE_REQUEST:
             sums["capture_requests"] += int(ev.fields.get("nbytes", 0))
     return sums
+
+
+def fault_kinds(events: list[TraceEvent]) -> list[str]:
+    """Fault kinds (``crash``, ``loss``, ...) injected in this trace."""
+    return sorted(
+        {
+            str(ev.fields.get("kind"))
+            for ev in events
+            if ev.name == FAULT_INJECTED and ev.fields.get("kind") is not None
+        }
+    )
+
+
+def render_fault_report(events: list[TraceEvent], kind: Optional[str] = None) -> str:
+    """Injected faults and the recovery activity they provoked.
+
+    One row per ``fault.injected`` record (optionally filtered to one
+    ``kind``), a per-link impairment rollup of the individual
+    ``fault.link.drop``/``fault.link.corrupt`` records, and one row per
+    ``recover.*`` decision (detector verdicts, retries, backoffs,
+    give-ups) — the same vocabulary docs/faults.md documents.
+    """
+    from ..analysis.report import render_table
+
+    injected = [ev for ev in events if ev.name == FAULT_INJECTED]
+    if kind is not None:
+        injected = [ev for ev in injected if ev.fields.get("kind") == kind]
+    blocks = []
+    if injected:
+        rows = [
+            [
+                f"{ev.time:.6f}",
+                ev.fields.get("kind", "?"),
+                ev.fields.get("scope", "?"),
+                ev.fields.get("target", "?"),
+                _fmt_fields(ev.fields, skip=("kind", "scope", "target", "fault")),
+            ]
+            for ev in injected
+        ]
+        blocks.append(
+            render_table(
+                ["t (s)", "kind", "scope", "target", "detail"],
+                rows,
+                title="Injected faults"
+                + (f" (kind={kind})" if kind is not None else ""),
+            )
+        )
+    else:
+        blocks.append(
+            "(no injected faults in trace)"
+            if kind is None
+            else f"(no injected faults of kind {kind!r} in trace)"
+        )
+
+    drops: dict[str, list[int]] = {}
+    for ev in events:
+        if ev.name in ("fault.link.drop", "fault.link.corrupt"):
+            per = drops.setdefault(str(ev.fields.get("link", "?")), [0, 0, 0])
+            per[0 if ev.name.endswith("drop") else 1] += 1
+            per[2] += int(ev.fields.get("bytes", 0))
+    if drops:
+        rows = [
+            [link, dropped, corrupted, nbytes]
+            for link, (dropped, corrupted, nbytes) in sorted(drops.items())
+        ]
+        blocks.append(
+            render_table(
+                ["link", "dropped", "corrupted", "bytes lost"],
+                rows,
+                title="Link impairments",
+            )
+        )
+
+    recover = [ev for ev in events if ev.name.startswith("recover.")]
+    if recover:
+        rows = [
+            [
+                f"{ev.time:.6f}",
+                ev.name[len("recover."):],
+                ev.fields.get("node", "?"),
+                _fmt_fields(ev.fields, skip=("node",)),
+            ]
+            for ev in recover
+        ]
+        blocks.append(
+            render_table(
+                ["t (s)", "decision", "node", "detail"],
+                rows,
+                title="Detection & recovery",
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def _fmt_fields(fields: dict, skip=("pid", "session")) -> str:

@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for fault-injection tests."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.testing import establish_clients
+
+
+@pytest.fixture
+def three_nodes():
+    return build_cluster(n_nodes=3, with_db=False)
+
+
+@pytest.fixture
+def two_nodes():
+    return build_cluster(n_nodes=2, with_db=False)
+
+
+def make_traffic(cluster, node_index=0, npages=64, n_clients=4, name="zone_serv0"):
+    """A server process with memory, clients and established sockets."""
+    node = cluster.nodes[node_index]
+    proc = node.kernel.spawn_process(name)
+    proc.address_space.mmap(npages, tag="heap")
+    _, children, clients = establish_clients(cluster, node, proc, 27960, n_clients)
+    return node, proc, children, clients

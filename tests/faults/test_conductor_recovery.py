@@ -1,0 +1,95 @@
+"""The conductor under faults: detection verdicts steer the balance loop."""
+
+from repro.cluster import build_cluster
+from repro.core import LiveMigrationConfig
+from repro.faults import FaultPlan, NodeCrash, install_faults
+from repro.middleware import (
+    ConductorConfig,
+    DEAD,
+    PolicyConfig,
+    install_conductor,
+)
+from repro.testing import run_for
+
+
+def build_balanced_cluster(n_nodes=3, **cond_kw):
+    cluster = build_cluster(n_nodes=n_nodes, with_db=False)
+    scan = [n.local_ip for n in cluster.nodes]
+    config = ConductorConfig(
+        policies=PolicyConfig(imbalance_threshold=12),
+        check_interval=1.0,
+        calm_down=3.0,
+        migration=LiveMigrationConfig(initial_round_timeout=0.08, rpc_timeout=1.0),
+        **cond_kw,
+    )
+    conductors = [
+        install_conductor(n, scan, cluster.node_by_local_ip, config)
+        for n in cluster.nodes
+    ]
+    return cluster, conductors
+
+
+def spawn_workers(cluster, node, conductor, n, demand, npages=16):
+    procs = []
+    for i in range(n):
+        proc = node.kernel.spawn_process(f"worker{i}")
+        proc.address_space.mmap(npages)
+        node.kernel.cpu.set_demand(proc, demand)
+        conductor.manage(proc)
+        procs.append(proc)
+    return procs
+
+
+class TestDetectorIntegration:
+    def test_crashed_peer_goes_dead_on_every_conductor(self):
+        cluster, conductors = build_balanced_cluster(
+            suspect_timeout=1.0, dead_timeout=2.0
+        )
+        tracer = cluster.env.enable_tracing()
+        victim = cluster.nodes[1]
+        install_faults(cluster, FaultPlan([NodeCrash(2.0, "node2")]))
+        run_for(cluster, 8.0)
+        for cond in (conductors[0], conductors[2]):
+            assert cond.detector.state(victim.local_ip) == DEAD
+            assert cond.detector.deaths_total >= 1
+        names = [e.name for e in tracer.events]
+        assert "recover.suspect" in names
+        assert "recover.dead" in names
+
+    def test_balance_loop_skips_dead_candidate(self):
+        """node2 (the obvious receiver) crashes; the conductor's
+        detector vetoes it and the process lands on node3."""
+        # Long peer-stale window: node2's last heartbeat keeps it in the
+        # candidate ranking, so only the detector's verdict excludes it.
+        cluster, conductors = build_balanced_cluster(
+            suspect_timeout=1.8, dead_timeout=3.0, peer_stale_timeout=60.0
+        )
+        tracer = cluster.env.enable_tracing()
+        hot = cluster.nodes[0]
+        procs = spawn_workers(cluster, hot, conductors[0], 4, demand=0.9)
+        # Crash before the load monitor warms up: no migration can land
+        # on node2 first.
+        install_faults(cluster, FaultPlan([NodeCrash(0.5, "node2")]))
+        run_for(cluster, 25.0)
+        moved = [p for p in procs if p.kernel is not hot.kernel]
+        assert moved, "balance loop never shed load"
+        for p in moved:
+            assert p.kernel is cluster.nodes[2].kernel
+        names = [e.name for e in tracer.events]
+        assert "recover.skip" in names
+
+    def test_heartbeat_jitter_is_deterministic(self):
+        """The jittered heartbeat loop stays replayable: same seed,
+        same heartbeat arrival times."""
+
+        def heartbeat_times():
+            cluster, conductors = build_balanced_cluster()
+            tracer = cluster.env.enable_tracing()
+            run_for(cluster, 5.0)
+            return [
+                e.time for e in tracer.events if e.name == "cond.heartbeat"
+            ]
+
+        first, second = heartbeat_times(), heartbeat_times()
+        # Jitter applied: periods are not all exactly the configured 1.0.
+        assert first == second

@@ -1,0 +1,121 @@
+"""MigdAbort at every session phase: the source always recovers.
+
+Satellite of the fault plane: whichever phase boundary the abort lands
+on, the engine's rollback must leave the process running on the source
+with every socket hashed and traffic flowing.  Also the
+rollback-idempotence regression tests: a second ``rollback()`` (or one
+after DONE) is a no-op.
+"""
+
+import pytest
+
+from repro.core import LiveMigrationConfig, install_migd, migrate_process
+from repro.core.session import MigrationSession, SessionState
+from repro.core.strategies import make_strategy
+from repro.faults import MIGD_PHASES, FaultPlan, MigdAbort, install_faults
+from repro.testing import run_for
+
+from ..core.conftest import start_client_pinger, start_echo
+from .conftest import make_traffic
+
+
+def run_with_abort(cluster, phase, target="*"):
+    node, proc, children, clients = make_traffic(cluster)
+    for ch in children:
+        start_echo(cluster, proc, ch)
+    stats = [start_client_pinger(cluster, c) for c in clients]
+    run_for(cluster, 0.5)
+
+    dest = cluster.nodes[1]
+    install_migd(dest)
+    install_faults(cluster, FaultPlan([MigdAbort(0.0, target, phase=phase)]))
+    mig = migrate_process(
+        node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0)
+    )
+    report = cluster.env.run(until=mig)
+    return node, proc, children, stats, report
+
+
+class TestAbortMatrix:
+    @pytest.mark.parametrize("phase", MIGD_PHASES)
+    def test_abort_at_phase_rolls_back(self, two_nodes, phase):
+        cluster = two_nodes
+        node, proc, children, stats, report = run_with_abort(cluster, phase)
+        assert not report.success
+        # The process never left the source and keeps running.
+        assert proc.kernel is node.kernel
+        assert proc.pid in node.kernel.processes
+        assert not proc.is_frozen
+        # Every socket is back in the source's lookup tables.
+        tables = node.stack.tables
+        for ch in children:
+            assert tables.ehash_lookup(ch.flow_key) is ch
+            assert not ch.migrating
+        # Traffic recovers (a retransmission blip is allowed).
+        before = [s["received"] for s in stats]
+        run_for(cluster, 3.0)
+        assert all(s["received"] > b for s, b in zip(stats, before))
+
+    def test_abort_is_one_shot(self, two_nodes):
+        """The fault fires once; a second migration goes through."""
+        cluster = two_nodes
+        node, proc, children, stats, report = run_with_abort(cluster, "precopy")
+        assert not report.success
+        dest = cluster.nodes[1]
+        report2 = cluster.env.run(
+            until=migrate_process(
+                node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0)
+            )
+        )
+        assert report2.success
+        assert proc.kernel is dest.kernel
+
+    def test_abort_matches_by_pid(self, two_nodes):
+        """A pid-targeted abort leaves other sessions alone."""
+        cluster = two_nodes
+        node, proc, children, stats, report = run_with_abort(
+            cluster, "precopy", target="999999"
+        )
+        assert report.success  # wrong pid: the fault never fires
+
+    def test_abort_traced(self, two_nodes):
+        cluster = two_nodes
+        tracer = cluster.env.enable_tracing()
+        node, proc, children, stats, report = run_with_abort(cluster, "freeze")
+        assert not report.success
+        names = [e.name for e in tracer.events]
+        assert "fault.migd.abort" in names
+        assert "mig.rollback.start" in names
+
+
+class TestRollbackIdempotence:
+    def make_session(self, cluster):
+        node, dest = cluster.nodes[:2]
+        proc = node.kernel.spawn_process("victim")
+        proc.address_space.mmap(4, tag="heap")
+        return MigrationSession(
+            node, dest, proc, make_strategy("incremental-collective")
+        )
+
+    def test_second_rollback_is_a_noop(self, two_nodes):
+        tracer = two_nodes.env.enable_tracing()
+        session = self.make_session(two_nodes)
+        session.rollback()
+        assert session.state is SessionState.ABORTED
+        starts = [e for e in tracer.events if e.name == "mig.rollback.start"]
+        assert len(starts) == 1
+        session.rollback()  # must not raise (ABORTED has no out-edges)
+        starts = [e for e in tracer.events if e.name == "mig.rollback.start"]
+        assert len(starts) == 1
+
+    def test_rollback_after_done_is_a_noop(self, two_nodes):
+        session = self.make_session(two_nodes)
+        for st in (
+            SessionState.PRECOPY,
+            SessionState.FREEZE,
+            SessionState.RESTORING,
+            SessionState.DONE,
+        ):
+            session.transition(st)
+        session.rollback()  # nothing to undo after DONE
+        assert session.state is SessionState.DONE
