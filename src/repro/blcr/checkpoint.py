@@ -37,14 +37,20 @@ def dump_memory_map(proc: SimProcess) -> tuple[list, int]:
 
 def dump_pages(proc: SimProcess, dirty_only: bool = False) -> tuple[dict[int, int], int]:
     """Page dump: {vpn: version} + serialized size; clears dirty bits
-    for the dumped set (this is the incremental-checkpoint primitive)."""
+    for the dumped set (this is the incremental-checkpoint primitive).
+
+    Consumes the address space's run-length state natively: the page
+    record dict is expanded one run at a time (dirty extents intersected
+    with version runs) instead of one page-table lookup per page, and
+    the dirty bits are cleared wholesale — dirty pages are always a
+    subset of mapped pages, so both modes dump every dirty page.
+    """
     space = proc.address_space
     if dirty_only:
-        vpns = space.dirty_pages()
+        pages = space.dirty_version_map()
     else:
-        vpns = list(space.iter_pages())
-    pages = {vpn: space.page_version(vpn) for vpn in vpns}
-    space.clear_dirty(vpns)
+        pages = space.content_snapshot()
+    space.clear_dirty()
     return pages, len(pages) * (PAGE_SIZE + PAGE_RECORD_OVERHEAD)
 
 

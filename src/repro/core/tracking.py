@@ -11,6 +11,7 @@ linked list of area records and compares it against the live
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..oskern.memory import AddressSpace, VMArea
 
@@ -39,9 +40,21 @@ class VMATracker:
     def __init__(self) -> None:
         #: vma_id -> (start, end, perms) as of the last scan.
         self._tracked: dict[int, tuple[int, int, str]] = {}
+        #: ``AddressSpace.map_version`` at the last scan, or ``None``
+        #: before the first one.  When the counter is unchanged the map
+        #: cannot have changed, so the diff is empty without walking
+        #: either list.  The *simulated* cost (:meth:`compare_cost`) is
+        #: unchanged — the kernel still walks both lists; only the
+        #: wall-clock cost of computing an empty diff disappears.
+        self._last_map_version: Optional[int] = None
+        self._last_space: Optional[AddressSpace] = None
 
     def scan(self, space: AddressSpace) -> VMADiff:
         """Diff the live list against the tracking list and update it."""
+        if space is self._last_space and space.map_version == self._last_map_version:
+            return VMADiff()
+        self._last_space = space
+        self._last_map_version = space.map_version
         diff = VMADiff()
         live: dict[int, VMArea] = {v.vma_id: v for v in space.vmas}
 

@@ -7,7 +7,7 @@ from typing import Any, Generator, Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
-from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
+from .events import NORMAL, URGENT, AllOf, AnyOf, Deferred, Event, Timeout
 from .process import Process
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]
@@ -121,6 +121,23 @@ class Environment:
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def call_later(self, delay: float, fn, arg: Any = None) -> None:
+        """Schedule a bare ``fn(arg)`` call ``delay`` seconds from now.
+
+        The one-shot fast path for hot single-waiter sites (packet
+        delivery, TCP timers): one tiny :class:`~.events.Deferred` heap
+        entry instead of Event + callback list + closure.  Consumes an
+        event id exactly like :meth:`schedule`, so converting a call
+        site from ``event()``+``schedule`` preserves same-tick ordering
+        (and therefore trace-level determinism) bit for bit.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, NORMAL, self._eid, Deferred(fn, arg))
+        )
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -131,6 +148,10 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+
+        if type(event) is Deferred:
+            event.fn(event.arg)
+            return
 
         callbacks = event.callbacks
         event.callbacks = None
@@ -171,6 +192,11 @@ class Environment:
                 raise ValueError(
                     f"until ({horizon}) must not be earlier than now ({self._now})"
                 )
+            if horizon == self._now:
+                # Zero-delay horizon: nothing can run strictly before
+                # now, so don't touch the heap at all (callers poll with
+                # ``run(until=env.now)`` in settle loops).
+                return None
             at = Event(self)
             at._ok = True
             at._value = None
@@ -178,16 +204,31 @@ class Environment:
             self.schedule(at, delay=horizon - self._now, priority=URGENT)
             at.callbacks.append(StopSimulation.callback)
 
+        # Inlined step() loop: the per-event overhead here bounds total
+        # simulation throughput, so avoid the method call and the
+        # EmptySchedule exception round-trip per event.
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
-                self.step()
+            while queue:
+                self._now, _, _, event = pop(queue)
+                if type(event) is Deferred:
+                    event.fn(event.arg)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # An un-handled failure crashes the simulation: it is
+                    # a bug in the model, never a modelled condition.
+                    raise event._value
         except StopSimulation as stop:
             return stop.args[0]
-        except EmptySchedule:
-            if at is not None and not at.triggered:
-                if isinstance(until, Event):
-                    raise RuntimeError(
-                        "simulation ran out of events before the 'until' "
-                        "event was triggered"
-                    ) from None
-            return None
+        if at is not None and not at.triggered:
+            if isinstance(until, Event):
+                raise RuntimeError(
+                    "simulation ran out of events before the 'until' "
+                    "event was triggered"
+                )
+        return None

@@ -9,6 +9,7 @@ to wait on several events at once.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,6 +35,24 @@ NORMAL = 1
 
 class EventAlreadyTriggered(RuntimeError):
     """Raised when succeed/fail is called on an already-triggered event."""
+
+
+class Deferred:
+    """A bare scheduled callback: the cheap heap entry for one-shot work.
+
+    Hot paths that used to build an ``Event``, append a single closure to
+    its callback list and preset its value (packet delivery, TCP timers)
+    schedule one of these instead: two slots, no callback list, no value
+    bookkeeping.  The run loop simply calls ``fn(arg)`` when it pops one.
+    Created via :meth:`Environment.call_later`; not awaitable — processes
+    that need to *wait* still use real events.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
 
 
 class Event:
@@ -84,7 +103,9 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -100,7 +121,9 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -112,7 +135,9 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
 
     # -- failure bookkeeping ----------------------------------------------
     @property
@@ -132,18 +157,30 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay of simulated time."""
+    """An event that fires after a fixed delay of simulated time.
+
+    Construction is the hottest allocation in the simulator (every
+    chained ``yield env.timeout(...)`` builds one), so it assigns all
+    slots directly and pushes its own heap entry instead of going
+    through ``Event.__init__`` + ``Environment.schedule``.  Timeouts are
+    deliberately *not* pooled: user code may keep references to a
+    processed timeout (conditions re-read sub-event state, processes
+    inspect ``.value``), so recycling one would corrupt observable state.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"

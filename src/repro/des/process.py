@@ -92,7 +92,7 @@ class Process(Event):
     # -- driver -------------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        if self.triggered:
+        if self._value is not PENDING:
             # The process terminated while an interrupt was in flight.
             return
 

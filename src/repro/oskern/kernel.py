@@ -46,6 +46,11 @@ class Kernel:
         self.processes: dict[int, SimProcess] = {}
         self.public_iface: Optional[Interface] = None
         self.local_iface: Optional[Interface] = None
+        #: Route cache: destination -> egress interface.  IPAddr is
+        #: frozen/hashable, so the per-packet prefix string match in
+        #: :meth:`route` collapses to one dict hit after the first
+        #: lookup.  Invalidated whenever an interface is attached.
+        self._route_cache: dict[IPAddr, Interface] = {}
         #: Set by ControlPlane when one is installed on this host.
         self.control = None
         # Imported here to keep the package layering acyclic
@@ -60,12 +65,14 @@ class Kernel:
             raise RuntimeError("public interface already attached")
         self.public_iface = iface
         iface.set_rx_handler(self._rx)
+        self._route_cache.clear()
 
     def attach_local(self, iface: Interface) -> None:
         if self.local_iface is not None:
             raise RuntimeError("local interface already attached")
         self.local_iface = iface
         iface.set_rx_handler(self._rx)
+        self._route_cache.clear()
 
     def _rx(self, packet, iface: Interface) -> None:
         from ..net import PROTO_CTL
@@ -77,14 +84,20 @@ class Kernel:
         self.stack.ip_rcv(packet, iface)
 
     def route(self, dst_ip: IPAddr) -> Interface:
-        """Pick the egress interface for a destination."""
+        """Pick the egress interface for a destination (cached)."""
+        iface = self._route_cache.get(dst_ip)
+        if iface is not None:
+            return iface
         if self.local_iface is not None and dst_ip.value.startswith(self.local_prefix):
-            return self.local_iface
-        if self.public_iface is not None:
-            return self.public_iface
-        if self.local_iface is not None:
-            return self.local_iface
-        raise RuntimeError(f"{self.node_name}: no interface to reach {dst_ip}")
+            iface = self.local_iface
+        elif self.public_iface is not None:
+            iface = self.public_iface
+        elif self.local_iface is not None:
+            iface = self.local_iface
+        else:
+            raise RuntimeError(f"{self.node_name}: no interface to reach {dst_ip}")
+        self._route_cache[dst_ip] = iface
+        return iface
 
     @property
     def local_ip(self) -> IPAddr:

@@ -1,4 +1,4 @@
-"""Process address spaces: VMA lists and dirty-bit page tracking.
+"""Process address spaces: VMA lists and extent-based dirty tracking.
 
 The live-migration mechanism needs two things from memory management
 (Section V-A):
@@ -13,17 +13,36 @@ The live-migration mechanism needs two things from memory management
 
 Pages carry a monotonically increasing *version* instead of data, so
 tests can assert exactly which page contents reached the destination.
+
+Representation.  Workloads write *ranges* (``write_range``), so the
+write path is batched instead of per-page:
+
+* dirty bits live in an :class:`ExtentSet` — sorted, disjoint half-open
+  ``[start, end)`` runs kept as a flat boundary list, so marking a range
+  dirty is an O(log n) interval merge rather than a per-page loop;
+* versions stay in a per-page dict (the dump wire format is per-page
+  anyway), but writes only record ``+1 at start, -1 at end`` boundary
+  deltas — a difference array — and the dict is *materialized lazily*
+  at read/dump time by one sweep over the accumulated boundaries.
+  Re-dirtying the same hot ranges many times between precopy rounds
+  therefore costs O(1) per write and one bump per page per round,
+  instead of one bump per page per write.
+
+The VMA list is kept sorted by ``start`` with a parallel key list, so
+``find_vma``/``_insert``/``resize`` are O(log n) bisects with
+neighbour-only overlap checks instead of linear scans.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from .costs import PAGE_SIZE
 
-__all__ = ["VMArea", "AddressSpace", "PAGE_SIZE"]
+__all__ = ["VMArea", "AddressSpace", "ExtentSet", "PAGE_SIZE"]
 
 _vma_ids = itertools.count(1)
 
@@ -66,16 +85,134 @@ class VMArea:
         return f"vma#{self.vma_id}[{self.start},{self.end}) {self.perms} {self.tag}"
 
 
+class ExtentSet:
+    """A set of page numbers stored as sorted disjoint half-open runs.
+
+    The runs live in one flat boundary list ``[s0, e0, s1, e1, ...]``
+    with ``s0 < e0 < s1 < e1 < ...`` (touching runs are merged), so
+    membership is a single :func:`bisect_right` — an odd insertion point
+    means *inside a run* — and adding or removing a range merges or
+    splits at most two boundary runs.
+    """
+
+    __slots__ = ("_b", "_count")
+
+    def __init__(self) -> None:
+        self._b: list[int] = []
+        self._count = 0
+
+    def __contains__(self, vpn: int) -> bool:
+        return bisect_right(self._b, vpn) & 1 == 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def add(self, start: int, end: int) -> int:
+        """Add ``[start, end)``; returns the number of newly-added pages."""
+        if end <= start:
+            return 0
+        b = self._b
+        lo = bisect_left(b, start)
+        hi = bisect_right(b, end)
+        left = b[lo - 1] if lo & 1 else start
+        right = b[hi] if hi & 1 else end
+        lo -= lo & 1
+        hi += hi & 1
+        swallowed = b[lo:hi]
+        prev = 0
+        for i in range(0, len(swallowed), 2):
+            prev += swallowed[i + 1] - swallowed[i]
+        b[lo:hi] = (left, right)
+        added = (right - left) - prev
+        self._count += added
+        return added
+
+    def remove(self, start: int, end: int) -> int:
+        """Remove ``[start, end)``; returns the number of pages removed."""
+        if end <= start or not self._b:
+            return 0
+        removed = self.covered(start, end)
+        if removed == 0:
+            return 0
+        b = self._b
+        lo = bisect_right(b, start)
+        hi = bisect_left(b, end)
+        new_bounds = []
+        if lo & 1:
+            if start > b[lo - 1]:
+                new_bounds.append(start)
+            else:
+                lo -= 1  # run starts exactly at ``start``: drop it whole
+        if hi & 1:
+            if end < b[hi]:
+                new_bounds.append(end)
+            else:
+                hi += 1  # run ends exactly at ``end``: drop it whole
+        b[lo:hi] = new_bounds
+        self._count -= removed
+        return removed
+
+    def covered(self, start: int, end: int) -> int:
+        """Number of member pages inside ``[start, end)``."""
+        b = self._b
+        i = bisect_right(b, start)
+        i -= i & 1
+        total = 0
+        n = len(b)
+        while i < n and b[i] < end:
+            lo = b[i] if b[i] > start else start
+            hi = b[i + 1] if b[i + 1] < end else end
+            if hi > lo:
+                total += hi - lo
+            i += 2
+        return total
+
+    def clear(self) -> None:
+        self._b.clear()
+        self._count = 0
+
+    def extents(self) -> list[tuple[int, int]]:
+        """Sorted disjoint ``(start, end)`` runs."""
+        b = self._b
+        return [(b[i], b[i + 1]) for i in range(0, len(b), 2)]
+
+    def pages(self) -> list[int]:
+        """Sorted member pages, materialized."""
+        out: list[int] = []
+        b = self._b
+        for i in range(0, len(b), 2):
+            out.extend(range(b[i], b[i + 1]))
+        return out
+
+
 class AddressSpace:
-    """Per-process memory: ordered VMA list + per-page dirty bits/versions."""
+    """Per-process memory: sorted VMA list + batched dirty/version state."""
 
     def __init__(self) -> None:
         #: Ordered by start page, non-overlapping.
         self.vmas: list[VMArea] = []
-        #: vpn -> version (bumped on every write).  Presence == mapped+touched.
+        #: Parallel sorted key list (``vma.start`` never mutates in place).
+        self._vma_starts: list[int] = []
+        #: vpn -> version (bumped on every write).  Presence == mapped.
+        #: Lags behind by the deltas in :attr:`_pending`; every reader
+        #: goes through :meth:`_flush_versions` first.
         self._versions: dict[int, int] = {}
-        #: vpn set with the dirty bit set.
-        self._dirty: set[int] = set()
+        #: Difference array of unapplied writes: boundary -> delta
+        #: (``+1`` at each written range's start, ``-1`` at its end).
+        self._pending: dict[int, int] = {}
+        #: Pages with the dirty bit set, run-length encoded.
+        self._dirty = ExtentSet()
+        #: Cached result of :meth:`dirty_pages`; invalidated on any
+        #: dirty-state change so repeated reads in the precopy loop are
+        #: free (treat the returned list as read-only).
+        self._dirty_cache: Optional[list[int]] = None
+        #: Bumped whenever the VMA *map* changes (mmap/munmap/resize/
+        #: load_snapshot).  The migration tracker compares this against
+        #: its last-seen value to skip the diff scan entirely.
+        self.map_version = 0
         self._next_free_page = 0x1000  # arbitrary non-zero base
 
     # -- mapping ------------------------------------------------------------
@@ -90,25 +227,33 @@ class AddressSpace:
         return area
 
     def _insert(self, area: VMArea) -> None:
-        for existing in self.vmas:
-            if area.start < existing.end and existing.start < area.end:
-                raise ValueError(f"{area} overlaps {existing}")
-        self.vmas.append(area)
-        self.vmas.sort(key=lambda a: a.start)
+        idx = bisect_right(self._vma_starts, area.start)
+        if idx > 0 and self.vmas[idx - 1].end > area.start:
+            raise ValueError(f"{area} overlaps {self.vmas[idx - 1]}")
+        if idx < len(self.vmas) and self.vmas[idx].start < area.end:
+            raise ValueError(f"{area} overlaps {self.vmas[idx]}")
+        self.vmas.insert(idx, area)
+        self._vma_starts.insert(idx, area.start)
         # Newly mapped pages are dirty: they never reached the destination.
-        for vpn in area.pages():
-            self._versions.setdefault(vpn, 0)
-            self._dirty.add(vpn)
+        self._versions.update(dict.fromkeys(area.pages(), 0))
+        self._dirty.add(area.start, area.end)
+        self._dirty_cache = None
+        self.map_version += 1
 
     def munmap(self, area: VMArea) -> None:
         """Unmap an area (frees)."""
-        try:
-            self.vmas.remove(area)
-        except ValueError:
-            raise ValueError(f"{area} is not mapped") from None
+        idx = bisect_left(self._vma_starts, area.start)
+        if idx >= len(self.vmas) or self.vmas[idx] != area:
+            raise ValueError(f"{area} is not mapped")
+        del self.vmas[idx]
+        del self._vma_starts[idx]
+        self._flush_versions()  # before the keys the sweep relies on go away
+        pop = self._versions.pop
         for vpn in area.pages():
-            self._versions.pop(vpn, None)
-            self._dirty.discard(vpn)
+            pop(vpn, None)
+        self._dirty.remove(area.start, area.end)
+        self._dirty_cache = None
+        self.map_version += 1
 
     def resize(self, area: VMArea, new_npages: int) -> None:
         """Grow or shrink an area in place (mremap-style modification)."""
@@ -117,21 +262,26 @@ class AddressSpace:
         old_end = area.end
         new_end = area.start + new_npages
         if new_end > old_end:
-            for other in self.vmas:
-                if other is not area and area.start < other.end and other.start < new_end:
-                    raise ValueError("resize would overlap a neighbouring VMA")
-            for vpn in range(old_end, new_end):
-                self._versions.setdefault(vpn, 0)
-                self._dirty.add(vpn)
-        else:
+            idx = bisect_right(self._vma_starts, area.start)
+            if idx < len(self.vmas) and self.vmas[idx].start < new_end:
+                raise ValueError("resize would overlap a neighbouring VMA")
+            self._versions.update(dict.fromkeys(range(old_end, new_end), 0))
+            self._dirty.add(old_end, new_end)
+        elif new_end < old_end:
+            self._flush_versions()
+            pop = self._versions.pop
             for vpn in range(new_end, old_end):
-                self._versions.pop(vpn, None)
-                self._dirty.discard(vpn)
+                pop(vpn, None)
+            self._dirty.remove(new_end, old_end)
         area.end = new_end
+        self._dirty_cache = None
+        self.map_version += 1
 
     def find_vma(self, vpn: int) -> Optional[VMArea]:
-        for area in self.vmas:
-            if area.start <= vpn < area.end:
+        idx = bisect_right(self._vma_starts, vpn) - 1
+        if idx >= 0:
+            area = self.vmas[idx]
+            if vpn < area.end:
                 return area
         return None
 
@@ -140,17 +290,61 @@ class AddressSpace:
         """Simulate a store to a page: sets the dirty bit, bumps version."""
         if vpn not in self._versions:
             raise ValueError(f"page fault: page {vpn:#x} is not mapped")
-        self._versions[vpn] += 1
-        self._dirty.add(vpn)
+        pending = self._pending
+        pending[vpn] = pending.get(vpn, 0) + 1
+        end = vpn + 1
+        pending[end] = pending.get(end, 0) - 1
+        self._dirty.add(vpn, end)
+        self._dirty_cache = None
 
     def write_range(self, area: VMArea, count: int, offset: int = 0) -> None:
-        """Write ``count`` consecutive pages of ``area`` starting at offset."""
+        """Write ``count`` consecutive pages of ``area`` starting at offset.
+
+        O(log n): two boundary-delta bumps for the versions plus one
+        extent merge for the dirty bits, regardless of ``count``.
+        """
         if offset < 0 or offset + count > area.npages:
             raise ValueError("write range outside area")
-        for vpn in range(area.start + offset, area.start + offset + count):
-            self.write_page(vpn)
+        if count <= 0:
+            return
+        start = area.start + offset
+        end = start + count
+        live = self.find_vma(start)
+        if live is None or end > live.end:
+            vpn = start if live is None else live.end
+            raise ValueError(f"page fault: page {vpn:#x} is not mapped")
+        pending = self._pending
+        pending[start] = pending.get(start, 0) + 1
+        pending[end] = pending.get(end, 0) - 1
+        self._dirty.add(start, end)
+        self._dirty_cache = None
+
+    def _flush_versions(self) -> None:
+        """Fold the pending write deltas into the version dict.
+
+        One sorted sweep over the recorded boundaries; each segment with
+        a positive cumulative delta is bumped in one C-level
+        zip/map/update pipeline.  N writes to the same hot range between
+        flushes collapse into a single +N bump per page.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = {}
+        versions = self._versions
+        get = versions.__getitem__
+        cum = 0
+        prev = 0
+        for bound in sorted(pending):
+            if cum > 0:
+                seg = range(prev, bound)
+                versions.update(zip(seg, map(cum.__add__, map(get, seg))))
+            cum += pending[bound]
+            prev = bound
+        # Boundary deltas sum to zero, so the sweep always ends at cum == 0.
 
     def page_version(self, vpn: int) -> int:
+        self._flush_versions()
         return self._versions[vpn]
 
     def is_dirty(self, vpn: int) -> bool:
@@ -158,8 +352,20 @@ class AddressSpace:
 
     # -- dirty tracking (what mig_mod's tracking loop consumes) --------------
     def dirty_pages(self) -> list[int]:
-        """Sorted list of pages with the dirty bit set."""
-        return sorted(self._dirty)
+        """Sorted list of pages with the dirty bit set (cached view).
+
+        The returned list is shared until the next dirty-state change;
+        callers must not mutate it.
+        """
+        cache = self._dirty_cache
+        if cache is None:
+            cache = self._dirty.pages()
+            self._dirty_cache = cache
+        return cache
+
+    def dirty_extents(self) -> list[tuple[int, int]]:
+        """Sorted disjoint ``(start, end)`` runs of dirty pages."""
+        return self._dirty.extents()
 
     def dirty_count(self) -> int:
         return len(self._dirty)
@@ -169,7 +375,25 @@ class AddressSpace:
         if vpns is None:
             self._dirty.clear()
         else:
-            self._dirty.difference_update(vpns)
+            for start, end in _coalesce(vpns):
+                self._dirty.remove(start, end)
+        self._dirty_cache = None
+
+    def clear_dirty_extents(self, extents: list[tuple[int, int]]) -> None:
+        """Clear dirty bits for whole runs (the extent-native fast path)."""
+        for start, end in extents:
+            self._dirty.remove(start, end)
+        self._dirty_cache = None
+
+    def dirty_version_map(self) -> dict[int, int]:
+        """``{vpn: version}`` for every dirty page, built run-at-a-time."""
+        self._flush_versions()
+        out: dict[int, int] = {}
+        get = self._versions.__getitem__
+        for start, end in self._dirty.extents():
+            seg = range(start, end)
+            out.update(zip(seg, map(get, seg)))
+        return out
 
     # -- whole-space views ------------------------------------------------------
     @property
@@ -186,6 +410,7 @@ class AddressSpace:
 
     def content_snapshot(self) -> dict[int, int]:
         """vpn -> version for every mapped page (test/restore helper)."""
+        self._flush_versions()
         return dict(self._versions)
 
     def load_snapshot(
@@ -197,9 +422,34 @@ class AddressSpace:
         if self.vmas:
             raise RuntimeError("load_snapshot requires an empty address space")
         for start, end, perms, tag in vmas:
-            self.vmas.append(VMArea(start, end, perms, tag))
-        self.vmas.sort(key=lambda a: a.start)
+            area = VMArea(start, end, perms, tag)
+            insort(self.vmas, area, key=lambda a: a.start)
+        self._vma_starts = [a.start for a in self.vmas]
         self._versions = dict(versions)
-        self._dirty = set()
+        self._pending = {}
+        self._dirty = ExtentSet()
+        self._dirty_cache = None
+        self.map_version += 1
         if self.vmas:
             self._next_free_page = max(a.end for a in self.vmas) + 16
+
+
+def _coalesce(vpns: list[int]) -> Iterator[tuple[int, int]]:
+    """Group a page-number list into sorted ``(start, end)`` runs."""
+    if not vpns:
+        return
+    ordered = vpns
+    prev = ordered[0]
+    for vpn in ordered:
+        if vpn < prev:
+            ordered = sorted(vpns)
+            break
+        prev = vpn
+    start = prev = ordered[0]
+    for vpn in ordered[1:]:
+        if vpn == prev or vpn == prev + 1:
+            prev = vpn
+            continue
+        yield (start, prev + 1)
+        start = prev = vpn
+    yield (start, prev + 1)

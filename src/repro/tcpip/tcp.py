@@ -285,7 +285,7 @@ class TCPSocket:
         while self.backlog and not self.locked:
             self._tcp_rcv(self.backlog.pop(0))
 
-    def _drain_prequeue(self) -> None:
+    def _drain_prequeue(self, _arg=None) -> None:
         while self.prequeue:
             self._tcp_rcv(self.prequeue.pop(0))
 
@@ -307,11 +307,7 @@ class TCPSocket:
             # context" — modelled as an immediately-scheduled drain.
             self.prequeue.append(pkt)
             self.prequeue_hits += 1
-            ev = Event(self.env)
-            ev._ok = True
-            ev._value = None
-            ev.callbacks.append(lambda _e: self._drain_prequeue())
-            self.env.schedule(ev)
+            self.env.call_later(0.0, self._drain_prequeue)
             return
         self._tcp_rcv(pkt)
 
@@ -505,9 +501,9 @@ class TCPSocket:
     def _arm_rto(self) -> None:
         self._rto_gen += 1
         self.rto_armed = True
-        gen = self._rto_gen
-        ev = self.env.timeout(self.rto)
-        ev.callbacks.append(lambda _e: self._rto_fire(gen))
+        # One Deferred per (re)arm instead of a Timeout + closure; the
+        # generation check in _rto_fire already absorbs stale firings.
+        self.env.call_later(self.rto, self._rto_fire, self._rto_gen)
 
     def _stop_rto(self) -> None:
         """Clear the retransmission timer (first step of migration)."""

@@ -104,3 +104,60 @@ class TestRun:
         env.timeout(1.0)
         env.run()
         assert env.now == 101.0
+
+
+class TestRunUntilNow:
+    def test_run_until_now_processes_no_events(self, env):
+        """run(until=env.now) must return without touching the heap."""
+        hits = []
+        env.timeout(0.0).callbacks.append(lambda e: hits.append("t"))
+        env.run(until=1.0)
+        assert hits == ["t"]
+        queue_before = list(env._queue)
+        env.timeout(0.0).callbacks.append(lambda e: hits.append("same-time"))
+        queue_before = list(env._queue)
+        assert env.run(until=env.now) is None
+        # Nothing fired, nothing popped — even events due *at* now.
+        assert hits == ["t"]
+        assert env._queue == queue_before
+        assert env.now == 1.0
+
+    def test_run_until_now_on_fresh_env(self):
+        env = Environment()
+        assert env.run(until=0.0) is None
+        assert env.now == 0.0
+
+
+class TestCallLater:
+    def test_fires_with_argument(self, env):
+        got = []
+        env.call_later(1.5, got.append, "payload")
+        env.run(until=2.0)
+        assert got == ["payload"]
+        assert env.now == 2.0
+
+    def test_default_arg_is_none(self, env):
+        got = []
+        env.call_later(1.0, got.append)
+        env.run(until=2.0)
+        assert got == [None]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.call_later(-0.1, lambda _: None)
+
+    def test_ordering_against_events_is_by_schedule_order(self, env):
+        """Deferreds and events at the same instant fire in schedule order."""
+        order = []
+        env.timeout(1.0).callbacks.append(lambda e: order.append("event-a"))
+        env.call_later(1.0, lambda _: order.append("deferred"))
+        env.timeout(1.0).callbacks.append(lambda e: order.append("event-b"))
+        env.run(until=2.0)
+        assert order == ["event-a", "deferred", "event-b"]
+
+    def test_step_executes_deferred(self, env):
+        got = []
+        env.call_later(0.5, got.append, 7)
+        env.step()
+        assert got == [7]
+        assert env.now == 0.5

@@ -134,3 +134,180 @@ class TestSnapshot:
         )
         fresh = dest.mmap(2)
         assert fresh.start >= a.end  # no overlap with restored areas
+
+
+class TestExtentSet:
+    def test_add_merges_touching_runs(self):
+        from repro.oskern.memory import ExtentSet
+
+        s = ExtentSet()
+        assert s.add(0, 4) == 4
+        assert s.add(8, 12) == 4
+        assert s.extents() == [(0, 4), (8, 12)]
+        # Bridges the gap and both neighbours collapse into one run.
+        assert s.add(4, 8) == 4
+        assert s.extents() == [(0, 12)]
+        assert len(s) == 12
+
+    def test_add_overlapping_counts_only_new(self):
+        from repro.oskern.memory import ExtentSet
+
+        s = ExtentSet()
+        s.add(0, 10)
+        assert s.add(5, 15) == 5
+        assert s.extents() == [(0, 15)]
+
+    def test_remove_splits_run(self):
+        from repro.oskern.memory import ExtentSet
+
+        s = ExtentSet()
+        s.add(0, 10)
+        assert s.remove(3, 7) == 4
+        assert s.extents() == [(0, 3), (7, 10)]
+        assert 2 in s and 3 not in s and 6 not in s and 7 in s
+        assert len(s) == 6
+
+    def test_remove_across_runs(self):
+        from repro.oskern.memory import ExtentSet
+
+        s = ExtentSet()
+        s.add(0, 4)
+        s.add(8, 12)
+        s.add(20, 24)
+        assert s.remove(2, 22) == 2 + 4 + 2
+        assert s.extents() == [(0, 2), (22, 24)]
+
+    def test_pages_and_clear(self):
+        from repro.oskern.memory import ExtentSet
+
+        s = ExtentSet()
+        s.add(3, 5)
+        s.add(9, 10)
+        assert s.pages() == [3, 4, 9]
+        s.clear()
+        assert not s and s.extents() == []
+
+
+class TestAdjacentVMAs:
+    """_insert/resize bisect edge cases: areas that exactly touch."""
+
+    def test_insert_exactly_adjacent_areas(self, space):
+        from repro.oskern.memory import VMArea
+
+        mid = VMArea(100, 110)
+        space._insert(mid)
+        # Exactly touching on both sides is legal (end is exclusive).
+        space._insert(VMArea(90, 100))
+        space._insert(VMArea(110, 120))
+        assert [(v.start, v.end) for v in space.vmas] == [
+            (90, 100),
+            (100, 110),
+            (110, 120),
+        ]
+        # Boundary lookups resolve to the owning area, not a neighbour.
+        assert space.find_vma(99).start == 90
+        assert space.find_vma(100) is mid
+        assert space.find_vma(109) is mid
+        assert space.find_vma(110).start == 110
+
+    def test_insert_one_page_overlap_rejected(self, space):
+        from repro.oskern.memory import VMArea
+
+        space._insert(VMArea(100, 110))
+        with pytest.raises(ValueError, match="overlaps"):
+            space._insert(VMArea(95, 101))  # clips predecessor's last page
+        with pytest.raises(ValueError, match="overlaps"):
+            space._insert(VMArea(109, 115))  # clips successor's first page
+
+    def test_resize_grow_to_exact_neighbour_boundary(self, space):
+        from repro.oskern.memory import VMArea
+
+        a = VMArea(100, 105)
+        space._insert(a)
+        space._insert(VMArea(110, 115))
+        space.resize(a, 10)  # grows to end == 110, exactly touching
+        assert a.end == 110
+        with pytest.raises(ValueError, match="overlap"):
+            space.resize(a, 11)
+
+    def test_adjacent_dirty_state_stays_per_area(self, space):
+        from repro.oskern.memory import VMArea
+
+        a, b = VMArea(100, 104), VMArea(104, 108)
+        space._insert(a)
+        space._insert(b)
+        space.clear_dirty()
+        space.write_range(a, count=4)
+        assert space.dirty_pages() == [100, 101, 102, 103]
+        space.munmap(a)
+        # b's pages survive with versions intact; a's are gone.
+        assert space.dirty_count() == 0
+        assert space.page_version(104) == 0
+        with pytest.raises(KeyError):
+            space.page_version(103)
+
+
+class TestDirtyExtents:
+    def test_dirty_extents_merges_ranges(self, space):
+        a = space.mmap(32)
+        space.clear_dirty()
+        space.write_range(a, count=4, offset=0)
+        space.write_range(a, count=4, offset=8)
+        space.write_range(a, count=4, offset=4)  # bridges the two
+        assert space.dirty_extents() == [(a.start, a.start + 12)]
+        assert space.dirty_count() == 12
+
+    def test_clear_dirty_extents(self, space):
+        a = space.mmap(16)
+        space.clear_dirty()
+        space.write_range(a, count=16)
+        space.clear_dirty_extents([(a.start, a.start + 8)])
+        assert space.dirty_extents() == [(a.start + 8, a.start + 16)]
+
+
+class TestDirtyPagesCache:
+    """dirty_pages() must not re-materialize per call (regression guard)."""
+
+    def _spy(self, space):
+        from repro.oskern.memory import ExtentSet
+
+        calls = {"n": 0}
+
+        class CountingExtents(ExtentSet):
+            def pages(self):
+                calls["n"] += 1
+                return super().pages()
+
+        spy = CountingExtents()
+        spy._b[:] = space._dirty._b
+        spy._count = space._dirty._count
+        space._dirty = spy
+        return calls
+
+    def test_repeated_calls_materialize_once(self, space):
+        a = space.mmap(64)
+        space.clear_dirty()
+        space.write_range(a, count=10)
+        calls = self._spy(space)
+        first = space.dirty_pages()
+        for _ in range(50):
+            assert space.dirty_pages() is first
+        assert calls["n"] == 1
+
+    def test_write_invalidates_cache(self, space):
+        a = space.mmap(64)
+        space.clear_dirty()
+        space.write_range(a, count=4)
+        calls = self._spy(space)
+        space.dirty_pages()
+        space.write_page(a.start + 20)
+        assert space.dirty_pages() == [*range(a.start, a.start + 4), a.start + 20]
+        assert calls["n"] == 2
+
+    def test_clear_invalidates_cache(self, space):
+        a = space.mmap(8)
+        space.dirty_pages()
+        calls = self._spy(space)
+        space.clear_dirty([a.start])
+        assert space.dirty_pages() == list(range(a.start + 1, a.end))
+        assert calls["n"] == 1

@@ -56,3 +56,32 @@ class TestDeterminism:
         a = small_dve(5)
         b = small_dve(6)
         assert a.final_zone_counts != b.final_zone_counts
+
+
+class TestTraceByteDeterminism:
+    def test_traced_migration_is_byte_identical(self, tmp_path):
+        """Same seed -> byte-identical trace JSONL, across interpreters.
+
+        Runs the traced fig5b quick migration in two fresh subprocesses
+        (pids are a process-global counter, so in-process reruns would
+        drift) and compares the raw bytes.  This is the guard that the
+        substrate fast paths (batched dirty writes, Deferred timers,
+        route caching) never perturb event ordering.
+        """
+        import subprocess
+        import sys
+
+        script = (
+            "import sys; from pathlib import Path\n"
+            "from repro.analysis.fig5bc import SweepConfig, _one_migration\n"
+            "_one_migration(SweepConfig(), 16, 'incremental-collective',\n"
+            "               seed=42, trace_path=Path(sys.argv[1]))\n"
+        )
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for p in paths:
+            subprocess.run(
+                [sys.executable, "-c", script, str(p)], check=True, timeout=300
+            )
+        a, b = paths[0].read_bytes(), paths[1].read_bytes()
+        assert a, "trace is empty"
+        assert a == b
