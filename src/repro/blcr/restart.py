@@ -65,12 +65,18 @@ def apply_image_state(
     image: CheckpointImage,
     staged_pages: Optional[dict[int, int]] = None,
     staged_vmas: Optional[list] = None,
+    absent_extents: Optional[list] = None,
 ) -> None:
     """Replace ``proc``'s kernel-visible state with the image contents.
 
     ``staged_pages``/``staged_vmas`` carry the incremental updates the
     destination accumulated during precopy; the image's own sections are
     the final freeze-phase deltas layered on top.
+
+    ``absent_extents`` (post-copy) lists page runs whose contents stay
+    on the source: they are exempt from the completeness check, built as
+    version-0 placeholders, and marked non-resident so the first write
+    faults into the demand-fetch path.
     """
     vmas = image.section("memory_map").payload if image.has_section("memory_map") else staged_vmas
     if vmas is None:
@@ -83,11 +89,20 @@ def apply_image_state(
     for start, end, _perms, _tag in vmas:
         mapped.update(range(start, end))
     pages = {vpn: v for vpn, v in pages.items() if vpn in mapped}
-    missing = mapped - set(pages)
+    absent: set[int] = set()
+    if absent_extents:
+        for start, end in absent_extents:
+            absent.update(range(start, end))
+        absent &= mapped
+    missing = mapped - set(pages) - absent
     if missing:
         raise RestartError(f"{len(missing)} mapped pages never transferred")
+    for vpn in absent:
+        pages.setdefault(vpn, 0)
 
     proc.address_space = _rebuild_address_space(list(vmas), pages)
+    if absent_extents:
+        proc.address_space.mark_absent(absent_extents)
     proc.fdtable = _rebuild_fdtable(image.section("files").payload)
     proc.threads = _rebuild_threads(image.section("threads").payload)
     if len(proc.threads) != image.nthreads:
@@ -106,6 +121,8 @@ def restart_process(kernel, image: CheckpointImage) -> SimProcess:
     proc.state = ProcessState.RUNNING
     proc._thaw_event = None
     proc.cpu_demand = 0.0
+    proc.cpu_throttle = 1.0
+    proc.page_fault_handler = None
     proc.threads = []
     apply_image_state(proc, image)
     if image.pid in kernel.processes:

@@ -20,6 +20,7 @@ processes with massive numbers of network connections.
 """
 
 from .capture import CaptureFilter, CaptureService, capture_key_for, install_capture_service
+from .compress import COMPRESSION_MODES, CompressStats, PageCompressor, make_compressor
 from .migd import (
     DEFAULT_RPC_TIMEOUT,
     MIGD_PORT,
@@ -27,6 +28,7 @@ from .migd import (
     MigrationDaemon,
     install_migd,
 )
+from .postcopy import PAGE_WIRE_BYTES, PostcopyFetcher, PostcopySource
 from .precopy import LiveMigrationConfig, LiveMigrationEngine, migrate_process
 from .recovery import RetryPolicy, migrate_with_retry
 from .session import MigrationSession, SessionId, SessionState
@@ -96,4 +98,11 @@ __all__ = [
     "DEFAULT_RPC_TIMEOUT",
     "VMATracker",
     "VMADiff",
+    "COMPRESSION_MODES",
+    "CompressStats",
+    "PageCompressor",
+    "make_compressor",
+    "PostcopySource",
+    "PostcopyFetcher",
+    "PAGE_WIRE_BYTES",
 ]

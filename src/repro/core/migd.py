@@ -27,6 +27,7 @@ from typing import Any, Optional
 from ..des import Event
 from ..oskern.node import Host
 from .capture import CaptureService, install_capture_service
+from .postcopy import PAGE_WIRE_BYTES, PostcopyFetcher, PostcopySource
 from .sockmig import SocketStaging, disable_socket, reenable_socket, restore_sockets
 
 __all__ = [
@@ -67,9 +68,20 @@ class MigrationChannel:
         self.rpc_timeout = rpc_timeout
         self.session = session
         self.bytes_sent = 0
+        #: Optional page-stream compressor (attached by the session when
+        #: its config asks for one); ``None`` bypasses the stage
+        #: entirely so default traffic is accounted exactly as before.
+        self.compressor = None
         metrics = source.env.metrics
         if metrics is not None and session is not None:
             metrics.gauge(f"channel.{session}.bytes_sent", fn=lambda: self.bytes_sent)
+
+    def compress_pages(self, pages: dict, raw_bytes: int) -> tuple[int, float]:
+        """Wire size + CPU cost of a page batch under the attached
+        compressor; ``(raw_bytes, 0.0)`` when the stage is disabled."""
+        if self.compressor is None or not pages:
+            return raw_bytes, 0.0
+        return self.compressor.compress(pages)
 
     def _stream(self, body: dict, nbytes: int) -> int:
         """Tag ``body`` with the session id, emit the padding chunks
@@ -137,6 +149,10 @@ class MigrationDaemon:
         self.env = host.env
         self.capture: CaptureService = install_capture_service(host)
         self._inbound: dict[Any, _Inbound] = {}
+        #: Source-side post-copy page stores, keyed like staging.
+        self._postcopy: dict[Any, PostcopySource] = {}
+        #: Destination-side pagefaultd instances, keyed like staging.
+        self._fetchers: dict[Any, PostcopyFetcher] = {}
         self.migrations_completed = 0
         host.control.register(MIGD_PORT, self._handle)
         metrics = host.env.metrics
@@ -202,6 +218,37 @@ class MigrationDaemon:
                 respond({"ok": True})
         elif op == "freeze":
             self.env.process(self._do_restore(body, src_ip, respond), name="migd-restore")
+        elif op == "fetch":
+            self.env.process(self._do_fetch(body, src_ip, respond), name="migd-fetch")
+        elif op == "push":
+            key = self._staging_key(body, src_ip)
+            fetcher = self._fetchers.get(key)
+            if fetcher is None or fetcher.failed:
+                if respond:
+                    respond(f"migd: no postcopy fetcher for {key!r}", error=True)
+                return
+            fetcher.install(body["pages"], fetched=False)
+            tr = self.env.tracer
+            if tr.enabled:
+                tr.event(
+                    "migd.postcopy.push",
+                    pid=body["pid"],
+                    session=fetcher.session,
+                    pages=len(body["pages"]),
+                    remaining=self._absent_remaining(fetcher),
+                )
+            if respond:
+                respond({"ok": True})
+        elif op == "postcopy_done":
+            self.env.process(
+                self._do_postcopy_done(body, src_ip, respond), name="migd-postcopy-done"
+            )
+        elif op == "postcopy_abort":
+            fetcher = self._fetchers.pop(self._staging_key(body, src_ip), None)
+            if fetcher is not None:
+                fetcher.fail()
+            if respond:
+                respond({"ok": True})
         elif op == "abort":
             self._abort(self._staging_key(body, src_ip))
             if respond:
@@ -270,6 +317,107 @@ class MigrationDaemon:
                 "migd.abort", pid=st.pid, session=st.session, node=self.host.name
             )
 
+    # -- post-copy ----------------------------------------------------------------
+    @staticmethod
+    def _absent_remaining(fetcher: PostcopyFetcher) -> int:
+        return fetcher.proc.address_space.absent_count
+
+    def register_postcopy(self, key: Any, store: PostcopySource) -> None:
+        """Source side: expose a page store for demand fetches."""
+        self._postcopy[key] = store
+
+    def unregister_postcopy(self, key: Any) -> None:
+        self._postcopy.pop(key, None)
+
+    def fail_postcopy(self, key: Any) -> None:
+        """Fault-injection entry point: fail a post-copy session's
+        source store, so demand fetches earn error replies and the
+        engine's push loop aborts at its next batch boundary."""
+        store = self._postcopy.get(key)
+        if store is None:
+            return
+        store.failed = True
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "migd.postcopy.fail", session=store.session, node=self.host.name
+            )
+
+    def _do_fetch(self, body: dict, src_ip, respond):
+        """Source side: serve a destination page fault from the store."""
+        key = self._staging_key(body, src_ip)
+        store = self._postcopy.get(key)
+        if store is None:
+            if respond:
+                respond(f"migd: no postcopy store for {key!r}", error=True)
+            return
+        if store.failed:
+            if respond:
+                respond("migd: postcopy source failed", error=True)
+            return
+        pages = store.serve(body["start"], body["end"])
+        costs = self.host.kernel.costs
+        yield self.env.timeout(
+            costs.postcopy_serve_cost * max(1, len(pages))
+            + costs.page_dump_cost * len(pages)
+        )
+        if store.failed:
+            if respond:
+                respond("migd: postcopy source failed", error=True)
+            return
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "migd.postcopy.serve",
+                pid=body["pid"],
+                session=store.session,
+                start=body["start"],
+                pages=len(pages),
+                remaining=store.remaining_pages,
+            )
+        if respond:
+            respond({"pages": pages}, size=max(1, len(pages) * PAGE_WIRE_BYTES))
+
+    def _do_postcopy_done(self, body: dict, src_ip, respond):
+        """Destination side: confirm every page arrived, report stats."""
+        key = self._staging_key(body, src_ip)
+        fetcher = self._fetchers.get(key)
+        if fetcher is None:
+            if respond:
+                respond(f"migd: no postcopy fetcher for {key!r}", error=True)
+            return
+        # Belt and braces: FIFO ordering means all pushes (and any fetch
+        # replies sent earlier) already arrived, but an in-flight demand
+        # fetch could still be waiting on the source — wait it out.
+        if fetcher.proc.address_space.has_absent:
+            yield fetcher.all_resident
+        if fetcher.failed:
+            if respond:
+                respond("migd: postcopy fetcher failed", error=True)
+            return
+        self._fetchers.pop(key, None)
+        fetcher.proc.page_fault_handler = None
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "migd.postcopy.done",
+                pid=fetcher.pid,
+                session=fetcher.session,
+                faults=fetcher.faults,
+                fetched=fetcher.fetched_pages,
+                pushed=fetcher.pushed_pages,
+            )
+        if respond:
+            respond(
+                {
+                    "ok": True,
+                    "faults": fetcher.faults,
+                    "fetched_pages": fetcher.fetched_pages,
+                    "pushed_pages": fetcher.pushed_pages,
+                    "fault_wait": fetcher.fault_wait,
+                }
+            )
+
     # -- capture enable ------------------------------------------------------------
     def _do_capture(self, body: dict, src_ip, respond):
         st = self._staging(body, src_ip)
@@ -313,9 +461,16 @@ class MigrationDaemon:
         costs = self.host.kernel.costs
         kernel = self.host.kernel
 
-        # Apply incremental + final memory state.
+        # Apply incremental + final memory state.  A post-copy freeze
+        # declares the not-yet-transferred extents; they are exempt from
+        # the completeness check and marked non-resident for pagefaultd.
+        postcopy = body.get("postcopy")
         apply_image_state(
-            proc, image, staged_pages=st.staged_pages, staged_vmas=st.staged_vmas
+            proc,
+            image,
+            staged_pages=st.staged_pages,
+            staged_vmas=st.staged_vmas,
+            absent_extents=postcopy["absent"] if postcopy else None,
         )
         n_final_pages = len(image.section("pages").payload) if image.has_section("pages") else 0
         yield self.env.timeout(costs.page_dump_cost * n_final_pages)
@@ -371,6 +526,27 @@ class MigrationDaemon:
                 captured=captured_total,
                 reinjected=reinjected,
             )
+
+        # Post-copy: install pagefaultd *before* the thaw, so the very
+        # first workload write to a non-resident page demand-fetches
+        # instead of crashing.
+        if postcopy:
+            fetcher = PostcopyFetcher(
+                host=self.host,
+                source_ip=st.source_ip,
+                session=st.session,
+                pid=pid,
+                proc=proc,
+                rpc_timeout=postcopy.get("rpc_timeout"),
+            )
+            self._fetchers[st.key] = fetcher
+            if tr.enabled:
+                tr.event(
+                    "migd.postcopy.arm",
+                    pid=pid,
+                    session=st.session,
+                    absent=proc.address_space.absent_count,
+                )
 
         # Adopt the process and resume execution on this node.
         kernel.adopt_process(proc)

@@ -23,7 +23,9 @@ from ..blcr.checkpoint import VMA_RECORD_BYTES
 from ..des import Process
 from ..oskern import RpcError, SimProcess
 from ..oskern.node import Host
+from .compress import COMPRESSION_MODES
 from .migd import install_migd
+from .postcopy import PAGE_WIRE_BYTES, PostcopySource
 from .session import MigrationSession, SessionState
 from .strategies import SocketMigrationStrategy, make_strategy
 from .tracking import VMATracker
@@ -63,6 +65,36 @@ class LiveMigrationConfig:
     #: migration never waits forever, so a crash or partition
     #: mid-stream aborts instead of hanging.
     rpc_timeout: Optional[float] = 30.0
+    #: Migration mode: classic ``precopy``; ``postcopy`` (move the
+    #: execution context first, then demand-fetch / background-push the
+    #: pages); or ``hybrid`` (warm-up precopy round(s), then switch).
+    mode: str = "precopy"
+    #: Full precopy rounds a hybrid migration runs before switching to
+    #: the post-copy tail.
+    hybrid_warmup_rounds: int = 1
+    #: Page-stream compression on the channel: ``none`` | ``zero-page``
+    #: | ``xbzrle`` (delta against the previous round's version map).
+    compression: str = "none"
+    #: Auto-convergence (precopy only): when the per-round dirty rate
+    #: exceeds :attr:`converge_hot_fraction` of the channel's effective
+    #: bandwidth for :attr:`converge_rounds` consecutive rounds,
+    #: throttle the workload's CPU share in steps so the dirty rate
+    #: falls and the precopy loop provably converges.
+    auto_converge: bool = False
+    #: A round is "hot" when the bytes dirtied over the inter-round
+    #: interval exceed this fraction of the bytes the channel moved in
+    #: the same interval (QEMU's auto-converge criterion: a workload
+    #: re-dirtying more than half of what each round ships never
+    #: converges by iterating alone).
+    converge_hot_fraction: float = 0.5
+    #: Consecutive hot rounds before a throttle step is applied.
+    converge_rounds: int = 2
+    #: First throttle step (fraction of CPU taken away).
+    converge_initial_throttle: float = 0.2
+    #: Increment per further step.
+    converge_step: float = 0.1
+    #: Hard cap on the fraction taken away.
+    converge_max_throttle: float = 0.99
 
     def with_overrides(self, **kw) -> "LiveMigrationConfig":
         return replace(self, **kw)
@@ -90,9 +122,15 @@ class LiveMigrationEngine:
         self.dest = dest
         self.proc = proc
         self.config = config or LiveMigrationConfig()
+        if self.config.mode not in ("precopy", "postcopy", "hybrid"):
+            raise ValueError(f"unknown migration mode {self.config.mode!r}")
+        if self.config.compression not in COMPRESSION_MODES:
+            raise ValueError(
+                f"unknown compression mode {self.config.compression!r}"
+            )
         self.env = source.env
         self.costs = source.kernel.costs
-        install_migd(source)
+        self.source_migd = install_migd(source)
         install_migd(dest)
         from .translation import install_transd
 
@@ -108,11 +146,22 @@ class LiveMigrationEngine:
             signal_based=self.config.signal_based,
             dump_user_queues=self.config.dump_user_queues,
             rpc_timeout=self.config.rpc_timeout,
+            mode=self.config.mode,
+            compression=self.config.compression,
         )
         self.report = self.session.report
         self.channel = self.session.channel
         self.ctx = self.session.ctx
         self._vma_tracker = VMATracker()
+        #: Set once a full-copy round has reached the destination; the
+        #: freeze dump may be incremental only after this (a config that
+        #: runs zero rounds used to ship a dirty-only freeze image and
+        #: leave the destination with holes).
+        self._full_copy_done = False
+        #: Auto-convergence state: current throttle fraction taken away
+        #: and when the current level was applied.
+        self._throttle = 0.0
+        self._throttle_since = 0.0
 
     # -- public API -----------------------------------------------------------
     def start(self) -> Process:
@@ -157,10 +206,35 @@ class LiveMigrationEngine:
                 256,
             )
             self.session.transition(SessionState.PRECOPY)
+            postcopy_mode = cfg.mode in ("postcopy", "hybrid")
+            if tr.enabled and (
+                cfg.mode != "precopy"
+                or cfg.compression != "none"
+                or cfg.auto_converge
+            ):
+                tr.event(
+                    "mig.mode",
+                    pid=proc.pid,
+                    session=sid,
+                    mode=cfg.mode,
+                    compression=cfg.compression,
+                    auto_converge=cfg.auto_converge,
+                )
 
             # ---- precopy loop (helper thread, app keeps running) ----
+            # Pure post-copy skips the loop entirely; hybrid runs its
+            # warm-up round(s) then breaks straight into the freeze.
+            if cfg.mode == "postcopy":
+                effective_max_rounds = 0
+            elif cfg.mode == "hybrid":
+                effective_max_rounds = max(1, cfg.hybrid_warmup_rounds)
+            else:
+                effective_max_rounds = cfg.max_rounds
             round_timeout = cfg.initial_round_timeout
-            while round_timeout > cfg.freeze_threshold and report.precopy_rounds < cfg.max_rounds:
+            hot_rounds = 0
+            prev_round_start = None
+            prev_nbytes = 0
+            while round_timeout > cfg.freeze_threshold and report.precopy_rounds < effective_max_rounds:
                 round_start = self.env.now
                 first = report.precopy_rounds == 0
                 round_span = (
@@ -177,19 +251,23 @@ class LiveMigrationEngine:
                 vdiff = self._vma_tracker.scan(space)
                 pages, page_bytes = dump_pages(proc, dirty_only=not first)
                 sock_records, sock_cpu = self.strategy.precopy_records(self.ctx)
+                wire_page_bytes, compress_cpu = self.channel.compress_pages(
+                    pages, page_bytes
+                )
 
                 cpu = (
                     self._vma_tracker.compare_cost(space, costs.vma_compare_cost)
                     + costs.pte_scan_cost * space.total_pages
                     + costs.page_dump_cost * len(pages)
                     + sock_cpu
+                    + compress_cpu
                     + costs.round_overhead
                 )
                 yield self.env.timeout(cpu)
 
                 vma_bytes = VMA_RECORD_BYTES * len(space.vmas) if first else vdiff.record_bytes()
                 sock_bytes = sum(r.nbytes for r in sock_records)
-                nbytes = page_bytes + vma_bytes + sock_bytes
+                nbytes = wire_page_bytes + vma_bytes + sock_bytes
                 yield self.channel.request(
                     {
                         "op": "round",
@@ -202,9 +280,12 @@ class LiveMigrationEngine:
                     },
                     nbytes,
                 )
-                report.bytes.precopy_pages += page_bytes
+                if first:
+                    self._full_copy_done = True
+                report.bytes.precopy_pages += wire_page_bytes
                 report.bytes.precopy_vmas += vma_bytes
                 report.bytes.precopy_sockets += sock_bytes
+                report.compression_saved_bytes += page_bytes - wire_page_bytes
                 report.precopy_rounds += 1
                 if tr.enabled:
                     # The span covers the round's work (scan + dump +
@@ -213,16 +294,53 @@ class LiveMigrationEngine:
                     tr.end(
                         round_span,
                         dirty_pages=len(pages),
-                        page_bytes=page_bytes,
+                        page_bytes=wire_page_bytes,
                         vma_bytes=vma_bytes,
                         sock_bytes=sock_bytes,
                         sock_records=len(sock_records),
                     )
+                    if self.channel.compressor is not None:
+                        tr.event(
+                            "mig.compress.round",
+                            pid=proc.pid,
+                            session=sid,
+                            round=report.precopy_rounds - 1,
+                            raw_bytes=page_bytes,
+                            wire_bytes=wire_page_bytes,
+                            saved_bytes=page_bytes - wire_page_bytes,
+                        )
 
+                # Auto-convergence: a round that dirtied more than
+                # ``converge_hot_fraction`` of what the channel moved
+                # over the same inter-round interval is "hot" (the
+                # residual set is not shrinking); K consecutive hot
+                # rounds escalate the workload throttle one step.
+                if cfg.auto_converge and cfg.mode == "precopy" and not first:
+                    interval = round_start - prev_round_start
+                    dirty_rate = page_bytes / interval if interval > 0 else 0.0
+                    bandwidth = prev_nbytes / interval if interval > 0 else 0.0
+                    if dirty_rate > cfg.converge_hot_fraction * bandwidth:
+                        hot_rounds += 1
+                    else:
+                        hot_rounds = 0
+                    if hot_rounds >= cfg.converge_rounds:
+                        hot_rounds = 0
+                        self._escalate_throttle(dirty_rate, bandwidth)
+                prev_round_start = round_start
+                prev_nbytes = nbytes
+
+                if report.precopy_rounds >= effective_max_rounds and cfg.mode == "hybrid":
+                    break  # switch point: no pacing wait before the freeze
                 elapsed = self.env.now - round_start
                 if elapsed < round_timeout:
                     yield self.env.timeout(round_timeout - elapsed)
                 round_timeout *= cfg.timeout_decay
+
+            # Throttled workloads get their full CPU share back before
+            # the freeze: downtime must not be measured against an
+            # artificially slowed application, and the destination
+            # adopts the process unthrottled.
+            self._release_throttle()
 
             # ---- freeze phase ----
             yield self.env.timeout(costs.signal_cost * (len(proc.threads) - 1))
@@ -263,14 +381,39 @@ class LiveMigrationEngine:
 
             # Leader thread: final memory delta + file table + threads.
             self._vma_tracker.scan(space)
-            pages, page_bytes = dump_pages(proc, dirty_only=True)
+            postcopy_store: Optional[PostcopySource] = None
+            if postcopy_mode:
+                # Post-copy freeze ships the page *map* only: the
+                # contents of every still-dirty page stay behind in a
+                # source-side store (for pure post-copy that is the
+                # whole address space — nothing was ever dumped, so
+                # every page still has its dirty bit from mmap).
+                absent_extents = space.dirty_extents()
+                store_pages = space.dirty_version_map()
+                space.clear_dirty()
+                pages, page_bytes = {}, 0
+                dump_cpu = costs.pte_scan_cost * space.total_pages
+                postcopy_store = PostcopySource(sid, store_pages, absent_extents)
+            else:
+                # At least one full-copy round must have reached the
+                # destination for an incremental freeze dump to restore
+                # (a zero-round config used to ship a dirty-only image
+                # and leave the destination with unmapped holes).
+                pages, page_bytes = dump_pages(
+                    proc, dirty_only=self._full_copy_done
+                )
+                dump_cpu = costs.page_dump_cost * len(pages)
+            wire_page_bytes, compress_cpu = self.channel.compress_pages(
+                pages, page_bytes
+            )
             files, file_bytes = dump_file_table(proc)
             proc.reap_thread(helper)
             threads, thread_bytes = dump_thread_context(proc)
             vma_map = self._vma_tracker.current_map(space)
             vma_bytes = VMA_RECORD_BYTES * len(vma_map)
             yield self.env.timeout(
-                costs.page_dump_cost * len(pages)
+                dump_cpu
+                + compress_cpu
                 + costs.file_entry_cost * len(files)
                 + costs.thread_ctx_cost * len(threads)
             )
@@ -283,20 +426,21 @@ class LiveMigrationEngine:
                 nthreads=len(proc.threads),
             )
             image.add_section("memory_map", vma_bytes, vma_map)
-            image.add_section("pages", page_bytes, pages)
+            image.add_section("pages", wire_page_bytes, pages)
             image.add_section("files", file_bytes, files)
             image.add_section("threads", thread_bytes, threads)
 
-            report.bytes.freeze_pages += page_bytes
+            report.bytes.freeze_pages += wire_page_bytes
             report.bytes.freeze_vmas += vma_bytes
             report.bytes.freeze_files += file_bytes
             report.bytes.freeze_threads += thread_bytes
+            report.compression_saved_bytes += page_bytes - wire_page_bytes
             if tr.enabled:
                 tr.event(
                     "mig.freeze.image",
                     pid=proc.pid,
                     session=sid,
-                    page_bytes=page_bytes,
+                    page_bytes=wire_page_bytes,
                     vma_bytes=vma_bytes,
                     file_bytes=file_bytes,
                     thread_bytes=thread_bytes,
@@ -306,6 +450,26 @@ class LiveMigrationEngine:
             # The process leaves this kernel: no residual dependencies.
             self.source.kernel.remove_process(proc)
             self.session.transition(SessionState.RESTORING)
+
+            freeze_body = {
+                "op": "freeze",
+                "pid": proc.pid,
+                "image": image,
+                "proc": proc,
+                "originals": self.ctx.originals,
+                "local_rewrites": {self.source.local_ip: self.dest.local_ip},
+                "adjust_timestamps": cfg.adjust_timestamps,
+            }
+            if postcopy_store is not None:
+                # The store must be servable before the freeze message
+                # is even sent: the destination thaws on receipt, and
+                # its first demand fetch may arrive while this engine
+                # is still waiting on the freeze reply.
+                self.source_migd.register_postcopy(sid, postcopy_store)
+                freeze_body["postcopy"] = {
+                    "absent": absent_extents,
+                    "rpc_timeout": cfg.rpc_timeout,
+                }
 
             transfer_span = (
                 tr.begin(
@@ -317,27 +481,32 @@ class LiveMigrationEngine:
                 if tr.enabled
                 else 0
             )
-            reply = yield self.channel.request(
-                {
-                    "op": "freeze",
-                    "pid": proc.pid,
-                    "image": image,
-                    "proc": proc,
-                    "originals": self.ctx.originals,
-                    "local_rewrites": {self.source.local_ip: self.dest.local_ip},
-                    "adjust_timestamps": cfg.adjust_timestamps,
-                },
-                image.total_bytes,
-            )
+            reply = yield self.channel.request(freeze_body, image.total_bytes)
             report.thawed_at = reply["thawed_at"]
             report.packets_captured = reply["captured"]
             report.packets_reinjected = reply["reinjected"]
             report.jiffies_delta = reply["jiffies_delta"]
+            if tr.enabled:
+                tr.end(transfer_span)
+
+            if postcopy_store is not None:
+                # ---- post-copy tail: the app already runs on the
+                # destination; push the residual set and serve faults.
+                self.session.transition(SessionState.POSTCOPY)
+                if tr.enabled:
+                    tr.event(
+                        "mig.postcopy.enter",
+                        pid=proc.pid,
+                        session=sid,
+                        residual_pages=postcopy_store.remaining_pages,
+                    )
+                yield from self._postcopy_push(postcopy_store)
+                self.source_migd.unregister_postcopy(sid)
+
             report.finished_at = self.env.now
             report.success = True
             self.session.transition(SessionState.DONE)
             if tr.enabled:
-                tr.end(transfer_span)
                 tr.event(
                     "mig.complete",
                     pid=proc.pid,
@@ -348,8 +517,15 @@ class LiveMigrationEngine:
                     reinjected=report.packets_reinjected,
                 )
             metrics = self.env.metrics
-            if metrics is not None and report.freeze_time is not None:
-                metrics.histogram("mig.freeze_time").observe(report.freeze_time)
+            if metrics is not None:
+                if report.freeze_time is not None:
+                    metrics.histogram("mig.freeze_time").observe(report.freeze_time)
+                if self.channel.compressor is not None:
+                    cst = self.channel.compressor.stats
+                    metrics.counter("mig.compress.pages").inc(cst.pages)
+                    metrics.counter("mig.compress.saved_bytes").inc(cst.saved_bytes)
+                    metrics.counter("mig.compress.zero_pages").inc(cst.zero_pages)
+                    metrics.counter("mig.compress.delta_pages").inc(cst.delta_pages)
             return report
 
         except RpcError as exc:
@@ -358,24 +534,139 @@ class LiveMigrationEngine:
             # see at most an RTO-length blip while the sockets were
             # unhashed; nothing is lost permanently.
             report.error = f"aborted: {exc}"
-            report.finished_at = self.env.now
-            report.success = False
+            return self._abort(report, crashed=False)
+        except Exception as exc:
+            # Defensive: an engine bug must not leave the session
+            # non-terminal and the process in limbo — same terminal
+            # semantics as a protocol abort, reported instead of raised.
+            report.error = f"crashed: {type(exc).__name__}: {exc}"
+            return self._abort(report, crashed=True)
+
+    def _abort(self, report, crashed: bool):
+        """Common terminal-failure path for both except handlers."""
+        proc = self.proc
+        sid = self.session.label
+        tr = self.env.tracer
+        report.finished_at = self.env.now
+        report.success = False
+        self._release_throttle()
+        if self.session.state is SessionState.POSTCOPY:
+            # The execution context already moved: there is no source
+            # to roll back to.  Fail the destination's pagefaultd (so
+            # blocked writers raise instead of hanging) and leave the
+            # process running there with whatever pages it has.
+            self.source_migd.unregister_postcopy(sid)
+            self.channel.send({"op": "postcopy_abort", "pid": proc.pid}, 64)
+            self.session.transition(SessionState.ABORTED)
+        else:
             self.session.rollback()
+        if tr.enabled:
+            fields = dict(
+                pid=proc.pid,
+                session=sid,
+                error=report.error,
+                frozen=report.frozen_at is not None,
+            )
+            if crashed:
+                fields["crashed"] = True
+            tr.event("mig.abort", **fields)
+        return report
+
+    # -- auto-convergence ------------------------------------------------------
+    def _escalate_throttle(self, dirty_rate: float, bandwidth: float) -> None:
+        """One throttle step: take a larger CPU fraction away from the
+        workload so its dirty rate falls below the channel bandwidth."""
+        cfg = self.config
+        report = self.report
+        now = self.env.now
+        if self._throttle > 0.0:
+            report.throttled_seconds += (now - self._throttle_since) * self._throttle
+            new = min(cfg.converge_max_throttle, self._throttle + cfg.converge_step)
+        else:
+            new = min(cfg.converge_max_throttle, cfg.converge_initial_throttle)
+        self._throttle = new
+        self._throttle_since = now
+        self.source.kernel.cpu.set_throttle(self.proc, 1.0 - new)
+        report.throttle_steps += 1
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "mig.autoconverge.throttle",
+                pid=self.proc.pid,
+                session=self.session.label,
+                round=report.precopy_rounds - 1,
+                throttle=new,
+                dirty_rate=dirty_rate,
+                bandwidth=bandwidth,
+            )
+
+    def _release_throttle(self) -> None:
+        """Give the workload its full CPU share back (no-op when the
+        throttle never engaged, so the default path is untouched)."""
+        if self._throttle <= 0.0:
+            return
+        report = self.report
+        report.throttled_seconds += (
+            self.env.now - self._throttle_since
+        ) * self._throttle
+        self.source.kernel.cpu.set_throttle(self.proc, 1.0)
+        tr = self.env.tracer
+        if tr.enabled:
+            tr.event(
+                "mig.autoconverge.release",
+                pid=self.proc.pid,
+                session=self.session.label,
+                throttled_seconds=report.throttled_seconds,
+            )
+        self._throttle = 0.0
+
+    # -- post-copy tail --------------------------------------------------------
+    def _postcopy_push(self, store: PostcopySource):
+        """Background-push the residual set in extent batches, then
+        confirm completion with the destination's pagefaultd."""
+        costs = self.costs
+        proc = self.proc
+        report = self.report
+        sid = self.session.label
+        tr = self.env.tracer
+        while not store.drained:
+            if store.failed:
+                raise RpcError(f"postcopy source failed (session {sid})")
+            batch = store.take(costs.postcopy_push_pages)
+            raw = len(batch) * PAGE_WIRE_BYTES
+            yield self.env.timeout(costs.page_dump_cost * len(batch))
+            wire, ccpu = self.channel.compress_pages(batch, raw)
+            if ccpu:
+                yield self.env.timeout(ccpu)
+            yield self.channel.request(
+                {"op": "push", "pid": proc.pid, "pages": batch}, wire
+            )
+            report.bytes.postcopy_pages += wire
+            report.compression_saved_bytes += raw - wire
             if tr.enabled:
                 tr.event(
-                    "mig.abort",
+                    "mig.postcopy.push",
                     pid=proc.pid,
                     session=sid,
-                    error=report.error,
-                    frozen=report.frozen_at > 0.0,
+                    pages=len(batch),
+                    nbytes=wire,
+                    remaining=store.remaining_pages,
                 )
-            return report
-        except Exception as exc:  # pragma: no cover - defensive
-            report.error = f"{type(exc).__name__}: {exc}"
-            report.finished_at = self.env.now
-            if proc.is_frozen:
-                proc.thaw()
-            raise
+        if store.failed:
+            raise RpcError(f"postcopy source failed (session {sid})")
+        reply = yield self.channel.request(
+            {"op": "postcopy_done", "pid": proc.pid}, 64
+        )
+        report.postcopy_faults = reply["faults"]
+        report.postcopy_fetched_pages = reply["fetched_pages"]
+        report.postcopy_fault_wait = reply["fault_wait"]
+        report.postcopy_pushed_pages = store.pushed_pages
+        # Demand-fetch traffic crossed the wire too: page-sized replies
+        # plus the fetch requests themselves.
+        report.bytes.postcopy_pages += (
+            store.served_pages * PAGE_WIRE_BYTES
+            + store.fetches * costs.postcopy_fetch_req_bytes
+        )
 
     # -- peer-rule relocation (both-endpoints-migratable support) -------------
     def _local_conn_keys(self) -> list:

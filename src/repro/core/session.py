@@ -59,6 +59,9 @@ class SessionState(str, enum.Enum):
     PRECOPY = "precopy"
     FREEZE = "freeze"
     RESTORING = "restoring"
+    #: Post-copy tail: the process already runs on the destination while
+    #: the source pushes the residual pages / serves demand fetches.
+    POSTCOPY = "postcopy"
     DONE = "done"
     ABORTED = "aborted"
 
@@ -68,7 +71,12 @@ _TRANSITIONS = {
     SessionState.NEGOTIATING: {SessionState.PRECOPY, SessionState.ABORTED},
     SessionState.PRECOPY: {SessionState.FREEZE, SessionState.ABORTED},
     SessionState.FREEZE: {SessionState.RESTORING, SessionState.ABORTED},
-    SessionState.RESTORING: {SessionState.DONE, SessionState.ABORTED},
+    SessionState.RESTORING: {
+        SessionState.DONE,
+        SessionState.POSTCOPY,
+        SessionState.ABORTED,
+    },
+    SessionState.POSTCOPY: {SessionState.DONE, SessionState.ABORTED},
     SessionState.DONE: set(),
     SessionState.ABORTED: set(),
 }
@@ -95,6 +103,8 @@ class MigrationSession:
         signal_based: bool = True,
         dump_user_queues: bool = True,
         rpc_timeout: Optional[float] = None,
+        mode: str = "precopy",
+        compression: str = "none",
     ) -> None:
         if rpc_timeout is None:
             # A session must never wait forever: a mid-stream partition
@@ -117,9 +127,16 @@ class MigrationSession:
             process_name=proc.name,
             session=self.label,
         )
+        self.mode = mode
+        self.report.mode = mode
+        self.report.compression = compression
         self.channel = MigrationChannel(
             source, dest, rpc_timeout=rpc_timeout, session=self.label
         )
+        if compression != "none":
+            from .compress import make_compressor
+
+            self.channel.compressor = make_compressor(compression, costs)
         self.ctx = MigrationContext(
             source=source,
             dest=dest,

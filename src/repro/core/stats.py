@@ -26,6 +26,9 @@ class PhaseBytes:
     freeze_files: int = 0
     freeze_threads: int = 0
     capture_requests: int = 0
+    #: Post-copy traffic: demand-fetched and background-pushed pages
+    #: (plus fetch-request overhead), after the thaw on the destination.
+    postcopy_pages: int = 0
 
     @property
     def precopy_total(self) -> int:
@@ -42,8 +45,17 @@ class PhaseBytes:
         )
 
     @property
+    def postcopy_total(self) -> int:
+        return self.postcopy_pages
+
+    @property
     def total(self) -> int:
-        return self.precopy_total + self.freeze_total + self.capture_requests
+        return (
+            self.precopy_total
+            + self.freeze_total
+            + self.capture_requests
+            + self.postcopy_total
+        )
 
 
 @dataclass
@@ -58,12 +70,31 @@ class MigrationReport:
     n_tcp_sockets: int = 0
     n_udp_sockets: int = 0
     n_local_connections: int = 0
-    #: Simulated time the migration started / app froze / app thawed.
+    #: Simulated time the migration started / finished (0.0 = never).
     started_at: float = 0.0
-    frozen_at: float = 0.0
-    thawed_at: float = 0.0
     finished_at: float = 0.0
+    #: When the app froze / thawed; ``None`` until the event happens, so
+    #: a freeze at sim time 0.0 is still distinguishable from "never".
+    frozen_at: Optional[float] = None
+    thawed_at: Optional[float] = None
     precopy_rounds: int = 0
+    #: Migration mode this report describes (precopy | postcopy | hybrid).
+    mode: str = "precopy"
+    #: Page-compression stage used on the channel (none | zero-page | xbzrle).
+    compression: str = "none"
+    #: Raw-minus-wire page bytes saved by the compression stage.
+    compression_saved_bytes: int = 0
+    #: Post-copy phase: remote page faults taken on the destination,
+    #: pages that arrived via demand fetch vs. background push, and the
+    #: total simulated time workload writes stalled on fetches.
+    postcopy_faults: int = 0
+    postcopy_fetched_pages: int = 0
+    postcopy_pushed_pages: int = 0
+    postcopy_fault_wait: float = 0.0
+    #: Auto-convergence: throttle escalations applied, and the integral
+    #: of (1 - allowed share) over the throttled interval.
+    throttle_steps: int = 0
+    throttled_seconds: float = 0.0
     bytes: PhaseBytes = field(default_factory=PhaseBytes)
     #: Captured/reinjected packet counts on the destination.
     packets_captured: int = 0
@@ -82,26 +113,28 @@ class MigrationReport:
 
         ``None`` while the interval is incomplete — a migration that
         failed after the freeze point has ``frozen_at`` set but
-        ``thawed_at`` still 0.0, and the naive difference would be a
-        nonsensical *negative* downtime.  Timestamps of 0.0 mean "never
+        ``thawed_at`` still ``None``, and the naive difference would be
+        a nonsensical *negative* downtime.  ``None`` means "never
         happened" (see :meth:`timestamps_valid`).
         """
-        if self.frozen_at <= 0.0 or self.thawed_at <= 0.0:
+        if self.frozen_at is None or self.thawed_at is None:
             return None
         if self.thawed_at < self.frozen_at:
             return None  # clock skew/bug guard: never report negative
         return self.thawed_at - self.frozen_at
 
     def timestamps_valid(self) -> dict[str, bool]:
-        """Which lifecycle timestamps actually happened (0.0 = never).
+        """Which lifecycle timestamps actually happened.
 
         Failed reports stop partway through the lifecycle; this makes
-        explicit which of their timestamps may be used.
+        explicit which of their timestamps may be used.  ``started_at``/
+        ``finished_at`` use 0.0 as "never"; freeze/thaw use ``None`` so
+        a freeze at sim time 0.0 is still recognized.
         """
         return {
             "started_at": self.started_at > 0.0,
-            "frozen_at": self.frozen_at > 0.0,
-            "thawed_at": self.thawed_at > 0.0,
+            "frozen_at": self.frozen_at is not None,
+            "thawed_at": self.thawed_at is not None,
             "finished_at": self.finished_at > 0.0,
         }
 
@@ -109,6 +142,20 @@ class MigrationReport:
     def total_time(self) -> float:
         """Wall-clock of the whole migration including precopy."""
         return self.finished_at - self.started_at
+
+    @property
+    def degradation_seconds(self) -> Optional[float]:
+        """Application-visible disruption: hard downtime (freeze) plus
+        post-copy fault stalls plus auto-convergence throttling.
+
+        This is the Voorsluys-style cost-of-migration figure the bench
+        compares across modes; ``None`` while the freeze interval is
+        incomplete.
+        """
+        ft = self.freeze_time
+        if ft is None:
+            return None
+        return ft + self.postcopy_fault_wait + self.throttled_seconds
 
     @property
     def n_sockets(self) -> int:
@@ -121,10 +168,12 @@ class MigrationReport:
         out = asdict(self)
         out["freeze_time"] = self.freeze_time
         out["total_time"] = self.total_time
+        out["degradation_seconds"] = self.degradation_seconds
         out["n_sockets"] = self.n_sockets
         out["timestamps_valid"] = self.timestamps_valid()
         out["bytes"]["precopy_total"] = self.bytes.precopy_total
         out["bytes"]["freeze_total"] = self.bytes.freeze_total
+        out["bytes"]["postcopy_total"] = self.bytes.postcopy_total
         out["bytes"]["total"] = self.bytes.total
         return out
 

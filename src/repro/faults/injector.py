@@ -256,6 +256,19 @@ class FaultInjector:
                 if migd is not None:
                     migd.fail_session(session.label)
                 return
+            if fault.phase == "postcopy":
+                # Delivered on *entry*: fail the source's page store.
+                # The engine's push loop observes it at the next batch
+                # boundary, aborts, and tells the destination's
+                # pagefaultd to fail its blocked writers.
+                if to.value != "postcopy":
+                    continue
+                self._pending_aborts.remove(fault)
+                self._deliver_abort(fault, session)
+                migd = session.source.daemons.get("migd")
+                if migd is not None:
+                    migd.fail_postcopy(session.label)
+                return
             if frm.value != fault.phase:
                 continue
             self._pending_aborts.remove(fault)

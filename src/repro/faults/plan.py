@@ -41,7 +41,7 @@ __all__ = [
 
 #: Session phases a :class:`MigdAbort` may target (the non-terminal
 #: :class:`~repro.core.session.SessionState` values).
-MIGD_PHASES = ("negotiating", "precopy", "freeze", "restoring")
+MIGD_PHASES = ("negotiating", "precopy", "freeze", "restoring", "postcopy")
 
 
 class MigdAbortInjected(RpcError):
@@ -161,7 +161,11 @@ class MigdAbort(Fault):
     ``negotiating``/``precopy``/``freeze`` the source engine observes
     the death when leaving the phase and rolls back; for ``restoring``
     the *destination's* staging is failed, so the freeze request earns
-    an error reply and the genuine distributed back-out path runs.
+    an error reply and the genuine distributed back-out path runs; for
+    ``postcopy`` the *source's* page store is failed on entry, so the
+    push loop aborts and destination demand fetches earn error replies
+    (the process stays on the destination — there is no source to roll
+    back to once execution has moved).
     One-shot: each MigdAbort fires at most once.
     """
 

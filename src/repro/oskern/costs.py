@@ -72,6 +72,25 @@ class CostModel:
     #: CPU to install one address-translation filter pair (transd).
     translation_install_cost: float = 15e-6
 
+    # ---- delta compression (zero-page / XBZRLE stage) ----
+    #: CPU cost of scanning one page for the all-zero fast path.
+    zero_scan_cost: float = 0.4e-6
+    #: Wire bytes for a zero page (record header + marker byte).
+    zero_page_bytes: int = 9
+    #: CPU cost of XBZRLE-encoding one page against its cached copy.
+    xbzrle_encode_cost: float = 1.5e-6
+    #: Modelled delta size per version step between the cached and the
+    #: current page contents (run-length encoded word diffs).
+    xbzrle_delta_bytes: int = 256
+
+    # ---- post-copy ----
+    #: CPU cost of looking up + serving one page from the source store.
+    postcopy_serve_cost: float = 1e-6
+    #: Fixed round-trip overhead bytes of one demand-fetch request.
+    postcopy_fetch_req_bytes: int = 48
+    #: Pages per background-push batch (one channel request each).
+    postcopy_push_pages: int = 128
+
     # ---- transport framing for the migration channel ----
     #: Bulk data is chunked into messages of at most this payload size.
     migration_chunk_bytes: int = 61440

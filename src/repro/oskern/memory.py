@@ -42,7 +42,7 @@ from typing import Iterator, Optional
 
 from .costs import PAGE_SIZE
 
-__all__ = ["VMArea", "AddressSpace", "ExtentSet", "PAGE_SIZE"]
+__all__ = ["VMArea", "AddressSpace", "ExtentSet", "PAGE_SIZE", "extents_of"]
 
 _vma_ids = itertools.count(1)
 
@@ -187,6 +187,21 @@ class ExtentSet:
             out.extend(range(b[i], b[i + 1]))
         return out
 
+    def intersect(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Member runs clipped to ``[start, end)``."""
+        out: list[tuple[int, int]] = []
+        b = self._b
+        i = bisect_right(b, start)
+        i -= i & 1
+        n = len(b)
+        while i < n and b[i] < end:
+            lo = b[i] if b[i] > start else start
+            hi = b[i + 1] if b[i + 1] < end else end
+            if hi > lo:
+                out.append((lo, hi))
+            i += 2
+        return out
+
 
 class AddressSpace:
     """Per-process memory: sorted VMA list + batched dirty/version state."""
@@ -205,6 +220,11 @@ class AddressSpace:
         self._pending: dict[int, int] = {}
         #: Pages with the dirty bit set, run-length encoded.
         self._dirty = ExtentSet()
+        #: Pages mapped but not resident (post-copy migration: the VMA
+        #: exists, the contents have not arrived yet).  Empty for every
+        #: process outside an in-flight post-copy restore, so the guard
+        #: in the write path is one cheap truthiness check.
+        self._absent = ExtentSet()
         #: Cached result of :meth:`dirty_pages`; invalidated on any
         #: dirty-state change so repeated reads in the precopy loop are
         #: free (treat the returned list as read-only).
@@ -252,6 +272,8 @@ class AddressSpace:
         for vpn in area.pages():
             pop(vpn, None)
         self._dirty.remove(area.start, area.end)
+        if self._absent:
+            self._absent.remove(area.start, area.end)
         self._dirty_cache = None
         self.map_version += 1
 
@@ -273,6 +295,8 @@ class AddressSpace:
             for vpn in range(new_end, old_end):
                 pop(vpn, None)
             self._dirty.remove(new_end, old_end)
+            if self._absent:
+                self._absent.remove(new_end, old_end)
         area.end = new_end
         self._dirty_cache = None
         self.map_version += 1
@@ -290,6 +314,8 @@ class AddressSpace:
         """Simulate a store to a page: sets the dirty bit, bumps version."""
         if vpn not in self._versions:
             raise ValueError(f"page fault: page {vpn:#x} is not mapped")
+        if self._absent and vpn in self._absent:
+            raise ValueError(f"page fault: page {vpn:#x} is not resident")
         pending = self._pending
         pending[vpn] = pending.get(vpn, 0) + 1
         end = vpn + 1
@@ -313,6 +339,9 @@ class AddressSpace:
         if live is None or end > live.end:
             vpn = start if live is None else live.end
             raise ValueError(f"page fault: page {vpn:#x} is not mapped")
+        if self._absent and self._absent.covered(start, end):
+            vpn = self._absent.intersect(start, end)[0][0]
+            raise ValueError(f"page fault: page {vpn:#x} is not resident")
         pending = self._pending
         pending[start] = pending.get(start, 0) + 1
         pending[end] = pending.get(end, 0) - 1
@@ -395,6 +424,45 @@ class AddressSpace:
             out.update(zip(seg, map(get, seg)))
         return out
 
+    # -- post-copy residency (pages mapped but not yet fetched) --------------
+    def mark_absent(self, extents: list[tuple[int, int]]) -> None:
+        """Mark ``(start, end)`` runs as mapped-but-not-resident."""
+        for start, end in extents:
+            self._absent.add(start, end)
+
+    def mark_present(self, start: int, end: int) -> int:
+        """Mark ``[start, end)`` resident; returns pages newly present."""
+        return self._absent.remove(start, end)
+
+    def absent_in(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Absent runs clipped to ``[start, end)``."""
+        return self._absent.intersect(start, end) if self._absent else []
+
+    def absent_extents(self) -> list[tuple[int, int]]:
+        return self._absent.extents()
+
+    @property
+    def absent_count(self) -> int:
+        return len(self._absent)
+
+    @property
+    def has_absent(self) -> bool:
+        return bool(self._absent)
+
+    def install_pages(self, pages: dict[int, int]) -> None:
+        """Install fetched page contents (post-copy demand/push path).
+
+        Versions land exactly as sent, the pages become resident, and
+        they stay *clean* — installing remote contents is not a local
+        store, so a subsequent migration away must not re-send them
+        unless the workload writes them again.
+        """
+        if not pages:
+            return
+        self._versions.update(pages)
+        for start, end in _coalesce(list(pages)):
+            self._absent.remove(start, end)
+
     # -- whole-space views ------------------------------------------------------
     @property
     def total_pages(self) -> int:
@@ -428,10 +496,16 @@ class AddressSpace:
         self._versions = dict(versions)
         self._pending = {}
         self._dirty = ExtentSet()
+        self._absent = ExtentSet()
         self._dirty_cache = None
         self.map_version += 1
         if self.vmas:
             self._next_free_page = max(a.end for a in self.vmas) + 16
+
+
+def extents_of(vpns: list[int]) -> list[tuple[int, int]]:
+    """Coalesce a page-number list into sorted ``(start, end)`` runs."""
+    return list(_coalesce(vpns))
 
 
 def _coalesce(vpns: list[int]) -> Iterator[tuple[int, int]]:

@@ -70,6 +70,19 @@ class CpuAccounting:
         self._demand[proc.pid] = proc.cpu_demand
         self._cpu_time.setdefault(proc.pid, 0.0)
 
+    def set_throttle(self, proc: "SimProcess", share: float) -> None:
+        """Auto-convergence throttle: cap ``proc`` at ``share`` of its
+        declared demand (1.0 = unthrottled).  The declared
+        ``proc.cpu_demand`` is preserved so un-throttling and adoption
+        on the destination restore the full demand.
+        """
+        if not 0.0 <= share <= 1.0:
+            raise ValueError("throttle share must be in [0, 1]")
+        self._integrate()
+        if proc.pid in self._demand:
+            self._demand[proc.pid] = proc.cpu_demand * share
+        proc.cpu_throttle = share
+
     # -- queries --------------------------------------------------------------
     def runq_depth(self) -> int:
         """Runnable processes: those with a positive declared demand

@@ -83,6 +83,16 @@ class SimProcess:
         self._thaw_event: Optional[Event] = None
         #: CPU demand (fraction of one core) for the fluid scheduler.
         self.cpu_demand = 0.0
+        #: Auto-convergence throttle: fraction of normal speed the
+        #: workload is allowed (1.0 = unthrottled).  Workloads honour it
+        #: by stretching their write interval.
+        self.cpu_throttle = 1.0
+        #: Post-copy demand-fetch hook.  When set (process restored with
+        #: absent pages), ``touch_range`` routes writes that hit a
+        #: non-resident page through it; the handler is a generator
+        #: function ``(start, end) -> Generator`` that completes once
+        #: the pages are resident.
+        self.page_fault_handler: Optional[Callable[[int, int], Generator]] = None
 
     # -- convenience ---------------------------------------------------------
     @property
@@ -139,6 +149,26 @@ class SimProcess:
         while self.state == ProcessState.FROZEN:
             assert self._thaw_event is not None
             yield self._thaw_event
+        return None
+
+    def touch_range(self, area: Any, count: int, offset: int = 0) -> Generator:
+        """``yield from`` write path for workloads that may run under an
+        in-flight post-copy restore: blocks while frozen, demand-fetches
+        any non-resident pages through :attr:`page_fault_handler`, then
+        performs the write.  Equivalent to plain
+        ``address_space.write_range`` when all pages are resident.
+        """
+        yield from self.check_frozen()
+        space = self.address_space
+        if space.has_absent and self.page_fault_handler is not None:
+            start = area.start + offset
+            end = start + count
+            while True:
+                missing = space.absent_in(start, end)
+                if not missing:
+                    break
+                yield from self.page_fault_handler(missing[0][0], missing[0][1])
+        space.write_range(area, count, offset)
         return None
 
     # -- signals ------------------------------------------------------------------

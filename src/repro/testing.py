@@ -11,7 +11,7 @@ from typing import Optional
 
 from .cluster import Cluster
 from .net import Endpoint
-from .oskern import Host, SimProcess
+from .oskern import Host, RpcError, SimProcess
 from .tcpip import TCPSocket
 
 __all__ = [
@@ -19,12 +19,53 @@ __all__ = [
     "establish_clients",
     "connect_local_tcp",
     "run_for",
+    "start_dirtier",
 ]
 
 
 def run_for(cluster: Cluster, duration: float) -> None:
     """Advance the simulation by ``duration`` seconds."""
     cluster.env.run(until=cluster.env.now + duration)
+
+
+def start_dirtier(
+    cluster: Cluster,
+    proc: SimProcess,
+    area,
+    count: int,
+    interval: float = 0.05,
+    offset: int = 0,
+) -> dict:
+    """Spawn a write-hot workload: every ``interval``, write ``count``
+    pages of ``area`` through the fault-aware
+    :meth:`~repro.oskern.task.SimProcess.touch_range` path.
+
+    Unlike a bare ``write_range`` loop this one behaves like a real
+    application under migration: it pauses while frozen, blocks on
+    demand fetches after a post-copy thaw, and slows down while
+    auto-convergence throttles the process (the tick interval stretches
+    by the inverse of the CPU share).  Returns a live stats dict with
+    ``ticks`` (completed write bursts), ``faulted`` (bursts that hit at
+    least one non-resident page) and ``errors`` (aborted post-copy
+    fetches, which also stop the workload).
+    """
+    stats = {"ticks": 0, "faulted": 0, "errors": 0}
+
+    def loop():
+        while True:
+            yield cluster.env.timeout(interval / max(proc.cpu_throttle, 1e-6))
+            had_absent = proc.address_space.has_absent
+            try:
+                yield from proc.touch_range(area, count, offset)
+            except RpcError:
+                stats["errors"] += 1
+                return
+            stats["ticks"] += 1
+            if had_absent:
+                stats["faulted"] += 1
+
+    cluster.env.process(loop(), name=f"dirtier-{proc.pid}")
+    return stats
 
 
 def accept_all(cluster: Cluster, listener: TCPSocket, out: list) -> None:

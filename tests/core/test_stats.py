@@ -66,18 +66,19 @@ class TestMigrationReport:
 
 class TestFailedReportFreezeTime:
     """Regression: a migration that fails *after* the freeze point has
-    ``frozen_at`` set but ``thawed_at`` still 0.0; the naive difference
-    was a large negative downtime that poisoned worst-case sweeps."""
+    ``frozen_at`` set but ``thawed_at`` still ``None``; the naive
+    difference was a large negative downtime that poisoned worst-case
+    sweeps."""
 
     def test_failed_at_freeze_is_none_not_negative(self):
         r = make_report(
-            thawed_at=0.0, finished_at=2.6, success=False,
+            thawed_at=None, finished_at=2.6, success=False,
             error="aborted: rpc timed out",
         )
         assert r.freeze_time is None
 
     def test_never_frozen_is_none(self):
-        r = make_report(frozen_at=0.0, thawed_at=0.0, success=False)
+        r = make_report(frozen_at=None, thawed_at=None, success=False)
         assert r.freeze_time is None
 
     def test_inverted_timestamps_guarded(self):
@@ -85,14 +86,21 @@ class TestFailedReportFreezeTime:
         assert r.freeze_time is None  # never a negative interval
 
     def test_timestamps_valid_flags(self):
-        r = make_report(thawed_at=0.0, success=False)
+        r = make_report(thawed_at=None, success=False)
         valid = r.timestamps_valid()
         assert valid["started_at"] and valid["frozen_at"]
         assert not valid["thawed_at"]
 
+    def test_frozen_at_time_zero_is_still_frozen(self):
+        """Regression: a freeze at sim time 0.0 is a real freeze — the
+        old ``frozen_at > 0.0`` convention mislabeled it as "never"."""
+        r = make_report(frozen_at=0.0, thawed_at=0.02)
+        assert r.timestamps_valid()["frozen_at"] is True
+        assert r.freeze_time == pytest.approx(0.02)
+
     def test_failed_summary_and_dict(self):
         r = make_report(
-            thawed_at=0.0, success=False, error="aborted: rpc timed out"
+            thawed_at=None, success=False, error="aborted: rpc timed out"
         )
         s = r.summary()
         assert "n/a (incomplete)" in s

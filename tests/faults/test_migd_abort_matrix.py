@@ -19,7 +19,13 @@ from ..core.conftest import start_client_pinger, start_echo
 from .conftest import make_traffic
 
 
-def run_with_abort(cluster, phase, target="*"):
+#: Phases whose abort rolls the process back on the source.  A
+#: ``postcopy`` abort cannot: execution already moved to the
+#: destination (covered by TestPostcopyAbort below).
+ROLLBACK_PHASES = tuple(p for p in MIGD_PHASES if p != "postcopy")
+
+
+def run_with_abort(cluster, phase, target="*", mode="precopy"):
     node, proc, children, clients = make_traffic(cluster)
     for ch in children:
         start_echo(cluster, proc, ch)
@@ -30,14 +36,14 @@ def run_with_abort(cluster, phase, target="*"):
     install_migd(dest)
     install_faults(cluster, FaultPlan([MigdAbort(0.0, target, phase=phase)]))
     mig = migrate_process(
-        node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0)
+        node, dest, proc, LiveMigrationConfig(rpc_timeout=1.0, mode=mode)
     )
     report = cluster.env.run(until=mig)
     return node, proc, children, stats, report
 
 
 class TestAbortMatrix:
-    @pytest.mark.parametrize("phase", MIGD_PHASES)
+    @pytest.mark.parametrize("phase", ROLLBACK_PHASES)
     def test_abort_at_phase_rolls_back(self, two_nodes, phase):
         cluster = two_nodes
         node, proc, children, stats, report = run_with_abort(cluster, phase)
@@ -86,6 +92,34 @@ class TestAbortMatrix:
         names = [e.name for e in tracer.events]
         assert "fault.migd.abort" in names
         assert "mig.rollback.start" in names
+
+
+class TestPostcopyAbort:
+    """A ``postcopy``-phase abort fires after the execution context
+    moved: there is no source to roll back to.  The session must end
+    ABORTED with the process left on the destination."""
+
+    def test_postcopy_abort_leaves_process_on_dest(self, two_nodes):
+        cluster = two_nodes
+        tracer = cluster.env.enable_tracing()
+        node, proc, children, stats, report = run_with_abort(
+            cluster, "postcopy", mode="postcopy"
+        )
+        assert not report.success
+        assert "postcopy" in report.error
+        dest = cluster.nodes[1]
+        assert proc.kernel is dest.kernel
+        assert proc.pid in dest.kernel.processes
+        assert not proc.is_frozen
+        # The one-way postcopy_abort is still in flight when the engine
+        # returns; once it lands, pagefaultd is failed and uninstalled.
+        run_for(cluster, 0.5)
+        assert proc.page_fault_handler is None
+        names = [e.name for e in tracer.events]
+        assert "fault.migd.abort" in names
+        assert "migd.postcopy.fail" in names
+        assert "mig.abort" in names
+        assert "mig.rollback.start" not in names
 
 
 class TestRollbackIdempotence:

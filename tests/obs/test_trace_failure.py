@@ -110,6 +110,6 @@ class TestRollbackTraces:
         _tracer, report, _proc = traced_failed_migration(
             two_nodes, kill_on_freeze=True
         )
-        assert report.frozen_at > 0.0
-        assert report.thawed_at == 0.0
+        assert report.frozen_at is not None
+        assert report.thawed_at is None
         assert report.freeze_time is None  # regression: never negative
