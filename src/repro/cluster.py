@@ -134,6 +134,28 @@ class Cluster:
         self.env.enable_metrics()
         return install_node_samplers(self)
 
+    # -- middleware ----------------------------------------------------------
+    def install_balancers(self, config=None) -> list:
+        """Install a conductor on every server node and return them.
+
+        Convenience wiring used by benches, examples and tests: each
+        conductor scans the other nodes' local addresses and resolves
+        receivers through :meth:`node_by_local_ip`.  Pass a
+        ``ConductorConfig`` to select a strategy
+        (``config.strategy="workload-balance-to-average"`` etc.);
+        each node deep-shares the same config object, as the per-node
+        rng stream is derived from the config seed *and* the node
+        address.  Idempotent per node (``install_conductor`` returns an
+        existing daemon).
+        """
+        from .middleware import install_conductor
+
+        scan_ips = [n.local_ip for n in self.nodes]
+        return [
+            install_conductor(node, scan_ips, self.node_by_local_ip, config)
+            for node in self.nodes
+        ]
+
     # -- clients ------------------------------------------------------------
     def client_ip(self, index: int) -> IPAddr:
         """Deterministic public address for the index-th client."""

@@ -1,10 +1,12 @@
 """Decentralized load-balancing middleware (Section IV).
 
 Per-node conductor daemons discover each other, exchange periodic load
-heartbeats, and perform sender-initiated process migrations governed by
-the transfer / location / selection / information policies, with a
+heartbeats, and perform sender-initiated process migrations, with a
 two-phase-commit admission on the receiver and calm-down periods after
-each migration.
+each migration.  Decisions flow through a pluggable strategy layer
+(:mod:`.strategy`): ClusterModel → Strategy → MigrationPlan → Planner →
+admission.  The default ``paper-threshold`` strategy is the paper's
+transfer / location / selection / information policy loop.
 """
 
 from .conductor import (
@@ -27,6 +29,20 @@ from .policies import (
     RandomLocationPolicy,
     SelectionPolicy,
     TransferPolicy,
+)
+from .strategy import (
+    STRATEGIES,
+    BalanceToAverageStrategy,
+    ClusterModel,
+    CycleAwareStrategy,
+    MigrationAction,
+    MigrationPlan,
+    NodeView,
+    PaperThresholdStrategy,
+    Planner,
+    Strategy,
+    make_strategy,
+    register_strategy,
 )
 from .twophase import MigrationAdmission, MigrationSlot
 
@@ -51,6 +67,18 @@ __all__ = [
     "install_conductor",
     "Consolidator",
     "ConsolidationConfig",
+    "NodeView",
+    "ClusterModel",
+    "MigrationAction",
+    "MigrationPlan",
+    "Strategy",
+    "PaperThresholdStrategy",
+    "BalanceToAverageStrategy",
+    "CycleAwareStrategy",
+    "Planner",
+    "STRATEGIES",
+    "register_strategy",
+    "make_strategy",
     "FailureDetector",
     "PeerHealth",
     "ALIVE",

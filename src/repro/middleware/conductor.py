@@ -3,11 +3,18 @@
 One per node.  It discovers its peers on the cluster network, monitors
 local resource consumption (via the atop-like :class:`LoadMonitor`),
 broadcasts periodic load heartbeats, and — being sender-initiated —
-decides when to shed a process: transfer policy says *whether*, location
-policy says *where*, selection policy says *which*, and a two-phase
-commit with the receiver's conductor guards admission.  The actual
-transfer is carried out by the migration daemon (:mod:`repro.core.migd`)
-through :class:`~repro.core.precopy.LiveMigrationEngine`.
+decides when to shed a process.  The *decision* is delegated to a
+pluggable strategy (:mod:`repro.middleware.strategy`): each balance
+round the conductor's :class:`~repro.middleware.strategy.Planner`
+snapshots a ``ClusterModel``, asks the configured strategy for a ranked
+``MigrationPlan``, and executes it through the two-phase admission,
+failure-detector veto and retry machinery here.  The default strategy,
+``paper-threshold``, is the paper's Section-IV loop (transfer policy
+says *whether*, selection policy says *which*, location policy says
+*where*) and reproduces the pre-strategy traces byte-identically.  The
+actual transfer is carried out by the migration daemon
+(:mod:`repro.core.migd`) through
+:class:`~repro.core.precopy.LiveMigrationEngine`.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from .policies import (
     SelectionPolicy,
     TransferPolicy,
 )
+from .strategy import Planner, make_strategy
 from .twophase import MigrationAdmission
 
 __all__ = ["CONDUCTOR_PORT", "ConductorConfig", "Conductor", "install_conductor"]
@@ -79,9 +87,31 @@ class ConductorConfig:
     #: lets the balance loop launch several sessions per round.
     admission_capacity: int = 1
     #: Policy overrides (defaults: the paper's opposite-side-of-average
-    #: location policy and difference-matched selection policy).
+    #: location policy and difference-matched selection policy).  The
+    #: ``paper-threshold`` strategy honours these; other strategies may
+    #: ignore them.
     location_policy: Optional[LocationPolicy] = None
     selection_policy: Optional[SelectionPolicy] = None
+    #: Decision strategy, by registry name (``repro.middleware.strategy``).
+    #: The default reproduces the pre-strategy conductor byte-identically.
+    strategy: str = "paper-threshold"
+    #: Keyword arguments forwarded to the strategy factory (e.g.
+    #: ``{"band": 5.0}`` for ``workload-balance-to-average``).
+    strategy_params: dict = dataclass_field(default_factory=dict)
+    #: Master seed for the conductor's per-node strategy rng stream
+    #: (combined with the node address, so every node draws its own
+    #: deterministic stream).  Stochastic strategies and policies —
+    #: ``RandomLocationPolicy`` via the registry — must use this stream
+    #: rather than module-level randomness.
+    seed: int = 0
+    #: Staleness guard window (seconds): the planner reports peers whose
+    #: last heartbeat is older than this but never ranks them as
+    #: migration candidates.  ``None`` = reuse ``peer_stale_timeout``.
+    plan_staleness: Optional[float] = None
+    #: Emit ``plan.*`` trace events.  ``None`` = auto: on for every
+    #: strategy except ``paper-threshold`` (whose traces must stay
+    #: byte-identical with the pre-planner conductor).
+    trace_plans: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -135,6 +165,20 @@ class Conductor:
         self.location = cfg.location_policy or LocationPolicy(cfg.policies)
         self.selection = cfg.selection_policy or SelectionPolicy(cfg.policies)
         self.information = InformationPolicy(cfg.policies)
+
+        # The decision plane: a per-node seeded rng stream (master seed
+        # combined with the node address — deterministic, unlike Python's
+        # randomized hash()), the configured strategy, and the planner
+        # that executes its plans through the admission/retry machinery.
+        import zlib
+
+        import numpy as np
+
+        self.strategy_rng = np.random.default_rng(
+            [cfg.seed, zlib.crc32(host.local_ip.value.encode())]
+        )
+        self.strategy = make_strategy(cfg.strategy, cfg, self.strategy_rng)
+        self.planner = Planner(self, self.strategy)
 
         #: Zone-server processes this conductor may migrate.
         self.managed: list[SimProcess] = []
@@ -341,64 +385,13 @@ class Conductor:
             * self.config.check_interval
         )
         yield self.env.timeout(phase)
-        sequential = self.config.admission_capacity == 1
         while True:
             yield self.env.timeout(self.config.check_interval)
             if not self.enabled:
                 continue
-            if self.admission.busy or self.admission.calming or not self.peers.peers():
-                continue
-            local = self.monitor.current_load()
-            average = self.peers.cluster_average(local)
-            if not self.transfer.should_initiate(local, average):
-                continue
-            target_diff = local - average
-            if sequential:
-                # Paper semantics: one migration per balance round, and
-                # the loop blocks until it finishes.
-                proc = self.selection.choose(
-                    max(target_diff, self.config.policies.min_share),
-                    self.monitor.process_shares(self.managed),
-                )
-                if proc is None:
-                    continue
-                candidates = self.location.choose(local, average, self.peers.peers())
-                yield from self._try_migrate(
-                    proc, candidates[: self.config.max_candidates]
-                )
-            else:
-                self._launch_batch(local, average, target_diff)
-
-    def _launch_batch(self, local: float, average: float, target_diff: float) -> None:
-        """Batch location/selection: launch up to ``admission.available``
-        concurrent sessions this round, repeatedly picking the process
-        that best matches the *remaining* excess over the average."""
-        remaining = target_diff
-        available = [p for p in self.managed if p not in self._outbound]
-        for _ in range(self.admission.available):
-            proc = self.selection.choose(
-                max(remaining, self.config.policies.min_share),
-                self.monitor.process_shares(available),
-            )
-            if proc is None:
-                return
-            candidates = self.location.choose(local, average, self.peers.peers())
-            if not candidates:
-                return
-            shares = dict(self.monitor.process_shares([proc]))
-            remaining -= shares.get(proc, 0.0)
-            available.remove(proc)
-            self._outbound.add(proc)
-            self.env.process(
-                self._run_session(proc, candidates[: self.config.max_candidates]),
-                name=f"cond-session-{proc.pid}",
-            )
-
-    def _run_session(self, proc: SimProcess, candidates: list[LoadInfo]):
-        try:
-            yield from self._try_migrate(proc, candidates)
-        finally:
-            self._outbound.discard(proc)
+            # One planner round: snapshot the cluster model, consult the
+            # strategy, execute the plan through admission/retry.
+            yield from self.planner.round()
 
     def _try_migrate(self, proc: SimProcess, candidates: list[LoadInfo]):
         """Walk the ranked candidates with retry-with-backoff.
@@ -409,10 +402,15 @@ class Conductor:
         the retry budget runs out.  A reserve that goes unanswered also
         burns an attempt — that silence is exactly what a dead
         destination looks like before the detector has declared it.
+
+        Returns an outcome dict for the planner's accounting:
+        ``{"success", "attempts", "reserved"}`` — ``attempts`` counts
+        *failed* attempts that burned retry budget, so a clean first-try
+        migration reports ``attempts == 0``.
         """
         me = self.host.name
         if not self.admission.try_reserve(me):
-            return
+            return {"success": False, "attempts": 0, "reserved": False}
         policy = self.config.retry
         tr = self.env.tracer
         attempt = 0
@@ -512,7 +510,7 @@ class Conductor:
             if report.success:
                 self.unmanage(proc)
                 self.admission.release(me, start_calm_down=True)
-                return
+                return {"success": True, "attempts": attempt, "reserved": True}
             attempt += 1
             failed += 1
             self.retries_total += 1
@@ -535,6 +533,7 @@ class Conductor:
         # Nobody accepted (or nothing landed): abort our own reservation
         # without calm-down — the process is still here to balance.
         self.admission.release(me, start_calm_down=False)
+        return {"success": False, "attempts": attempt, "reserved": True}
 
 
 def install_conductor(

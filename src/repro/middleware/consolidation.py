@@ -148,23 +148,61 @@ class Consolidator:
     def _drain_one(self, awake: list[Host]):
         """Try to empty the least-loaded node into its peers."""
         cfg = self.config
+        tr = self.env.tracer
         source = min(awake, key=self._load)
         procs = list(self.resolve_processes(source))
         slot = self._slot(source)
         if slot is not None and not slot.try_reserve("consolidator"):
             return
 
+        # A drain is a plan too: same ``plan.*`` vocabulary as the
+        # conductor's planner, under the "consolidate" strategy name.
+        if tr.enabled and procs:
+            tr.event(
+                "plan.emitted",
+                node=source.name,
+                strategy="consolidate",
+                actions=len(procs),
+            )
         try:
             drained = True
             for proc in procs:
                 target = self._pick_target(source, proc)
                 if target is None:
+                    if tr.enabled:
+                        tr.event(
+                            "plan.drop",
+                            node=source.name,
+                            strategy="consolidate",
+                            pid=proc.pid,
+                            reason="no-candidates",
+                        )
                     drained = False
                     break
+                if tr.enabled:
+                    tr.event(
+                        "plan.action",
+                        node=source.name,
+                        strategy="consolidate",
+                        pid=proc.pid,
+                        proc=proc.name,
+                        dest=target.name,
+                        score=100.0 * proc.cpu_demand
+                        / max(1, source.kernel.cpu.cores),
+                        not_before=0.0,
+                    )
                 target_slot = self._slot(target)
                 if target_slot is not None and not target_slot.try_reserve(
                     "consolidator"
                 ):
+                    if tr.enabled:
+                        tr.event(
+                            "plan.drop",
+                            node=source.name,
+                            strategy="consolidate",
+                            pid=proc.pid,
+                            reason="admission",
+                        )
                     drained = False
                     break
                 try:
@@ -175,6 +213,16 @@ class Consolidator:
                     if target_slot is not None:
                         target_slot.release("consolidator", start_calm_down=False)
                 self._transfer_management(source, target, proc)
+                if tr.enabled:
+                    tr.event(
+                        "plan.outcome",
+                        node=source.name,
+                        strategy="consolidate",
+                        pid=proc.pid,
+                        dest=target.name,
+                        outcome="executed" if report.success else "aborted",
+                        attempts=0 if report.success else 1,
+                    )
                 ft = report.freeze_time
                 freeze_desc = f"{ft * 1e3:.1f} ms freeze" if ft is not None else "freeze n/a"
                 self.events.append(

@@ -25,6 +25,10 @@ class LoadInfo:
     nprocs: int
     timestamp: float
 
+    def age(self, now: float) -> float:
+        """Seconds since this heartbeat was taken (0 for a fresh one)."""
+        return max(0.0, now - self.timestamp)
+
 
 class PeerDatabase:
     """Latest-known load of every other node."""
@@ -79,6 +83,22 @@ class PeerDatabase:
 
     def peers(self) -> list[LoadInfo]:
         return sorted(self._peers.values(), key=lambda i: i.node_name)
+
+    def partition_fresh(
+        self, now: float, window: float
+    ) -> tuple[list[LoadInfo], list[LoadInfo]]:
+        """Split peers into (fresh, stale) by heartbeat age.
+
+        The planner's staleness guard: peers whose last heartbeat is
+        older than ``window`` are still *known* (they have not lapsed
+        past ``stale_timeout`` and been pruned) but their load figures
+        are too old to rank as migration candidates.
+        """
+        fresh: list[LoadInfo] = []
+        stale: list[LoadInfo] = []
+        for info in self.peers():
+            (fresh if info.age(now) <= window else stale).append(info)
+        return fresh, stale
 
     def __len__(self) -> int:
         return len(self._peers)

@@ -115,10 +115,24 @@ class LeastLoadedLocationPolicy(LocationPolicy):
 
 
 class RandomLocationPolicy(LocationPolicy):
-    """Baseline alternative: any below-average receiver, random order."""
+    """Baseline alternative: any below-average receiver, random order.
+
+    The rng must be an *explicitly seeded* generator (e.g. a named
+    ``RngRegistry`` stream, or the conductor's per-node strategy stream)
+    — there is deliberately no module-level fallback, because an
+    unseeded source would make strategy comparisons unreproducible:
+    two same-seed runs would rank receivers differently and their
+    traces would diverge.
+    """
 
     def __init__(self, config: PolicyConfig, rng) -> None:
         super().__init__(config)
+        if rng is None or not hasattr(rng, "permutation"):
+            raise TypeError(
+                "RandomLocationPolicy needs an explicitly seeded numpy "
+                "Generator (e.g. RngRegistry(seed).stream('location')); "
+                f"got {rng!r}"
+            )
         self.rng = rng
 
     def choose(

@@ -22,8 +22,10 @@ from .export import (
     fault_kinds,
     migration_slices,
     phase_byte_sums,
+    plan_strategies,
     read_jsonl,
     render_fault_report,
+    render_plan_report,
     render_timeline,
     render_trace_summary,
     trace_to_jsonl,
@@ -70,4 +72,6 @@ __all__ = [
     "render_trace_summary",
     "fault_kinds",
     "render_fault_report",
+    "plan_strategies",
+    "render_plan_report",
 ]

@@ -8,6 +8,8 @@ Usage::
     repro-trace trace.jsonl --summary
     repro-trace trace.jsonl --faults          # all injected faults
     repro-trace trace.jsonl --faults crash    # one fault kind
+    repro-trace trace.jsonl --plans           # decision-plane report
+    repro-trace trace.jsonl --plans cycle-aware   # one strategy
 
 With no mode flag both the summary table and the per-migration phase
 timelines are printed.
@@ -23,8 +25,10 @@ from typing import Optional
 from .export import (
     fault_kinds,
     migration_slices,
+    plan_strategies,
     read_jsonl,
     render_fault_report,
+    render_plan_report,
     render_timeline,
     render_trace_summary,
 )
@@ -54,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KIND",
         help="also list injected faults and recovery decisions, "
         "optionally filtered to one fault kind (e.g. 'crash')",
+    )
+    parser.add_argument(
+        "--plans",
+        nargs="?",
+        const="all",
+        default=None,
+        metavar="STRATEGY",
+        help="also report the decision plane's plan.* records — emitted "
+        "plans, action outcomes (executed/vetoed/retried/aborted) and "
+        "per-strategy score distributions — optionally filtered to one "
+        "strategy name (e.g. 'cycle-aware')",
     )
     parser.add_argument(
         "--timeline", action="store_true", help="print only the phase timelines"
@@ -104,6 +119,16 @@ def main(argv: Optional[list[str]] = None) -> int:
             if known:
                 print("known fault kinds: " + ", ".join(known), file=sys.stderr)
             return 3
+    if args.plans is not None and args.plans != "all":
+        known = plan_strategies(events)
+        if args.plans not in known:
+            print(
+                f"repro-trace: no such strategy {args.plans!r} in {args.trace}",
+                file=sys.stderr,
+            )
+            if known:
+                print("known strategies: " + ", ".join(known), file=sys.stderr)
+            return 3
     show_summary = args.summary or not args.timeline
     show_timeline = args.timeline or not args.summary
     if show_summary:
@@ -116,7 +141,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                 events, kind=None if args.faults == "all" else args.faults
             )
         )
-    if (show_summary or args.faults is not None) and show_timeline:
+    if args.plans is not None:
+        if show_summary or args.faults is not None:
+            print()
+        print(
+            render_plan_report(
+                events, strategy=None if args.plans == "all" else args.plans
+            )
+        )
+    if (show_summary or args.faults is not None or args.plans is not None) and show_timeline:
         print()
     if show_timeline:
         print(

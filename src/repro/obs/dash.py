@@ -10,6 +10,10 @@ operator would want while watching a migration wave:
   peer-database staleness;
 - **per-session panel** — one row per migration session from a JSONL
   trace (strategy, route, rounds, downtime, bytes, outcome);
+- **planner panel** — the decision plane, when the trace carries
+  ``plan.*`` records: one row per (node, strategy) with plans emitted,
+  actions and their fates (executed/retried/vetoed/aborted/deferred/
+  dropped);
 - **SLO panel** — optional declarative rules (``--slo "name < x"``)
   evaluated against the latest metric values.
 
@@ -30,6 +34,7 @@ __all__ = [
     "main",
     "build_parser",
     "render_node_panel",
+    "render_planner_panel",
     "latest_values",
     "split_node_metric",
 ]
@@ -97,6 +102,58 @@ def render_node_panel(cols: dict[str, list[float]], at_time: Optional[float] = N
         title += f" (latest sample, t={at_time:.3f}s)"
     return render_table(
         ["node"] + [c[0] for c in _NODE_COLUMNS], rows, title=title
+    )
+
+
+def render_planner_panel(events) -> str:
+    """Decision-plane rollup from the trace's ``plan.*`` records.
+
+    One row per (node, strategy): plans emitted, actions planned, and a
+    fate tally.  Empty string when the trace has no ``plan.*`` records
+    (the default paper-threshold strategy keeps plan tracing off).
+    """
+    from ..analysis.report import render_table
+
+    per: dict[tuple[str, str], dict[str, int]] = {}
+
+    def agg(ev) -> dict[str, int]:
+        key = (
+            str(ev.fields.get("node", "?")),
+            str(ev.fields.get("strategy", "?")),
+        )
+        return per.setdefault(
+            key, {"plans": 0, "actions": 0, "deferred": 0, "dropped": 0}
+        )
+
+    for ev in events:
+        if not ev.name.startswith("plan."):
+            continue
+        if ev.name == "plan.emitted":
+            agg(ev)["plans"] += 1
+        elif ev.name == "plan.action":
+            agg(ev)["actions"] += 1
+        elif ev.name == "plan.defer":
+            agg(ev)["deferred"] += 1
+        elif ev.name == "plan.drop":
+            agg(ev)["dropped"] += 1
+        elif ev.name == "plan.outcome":
+            a = agg(ev)
+            outcome = str(ev.fields.get("outcome", "?"))
+            a[outcome] = a.get(outcome, 0) + 1
+    if not per:
+        return ""
+    fate_cols = ["executed", "retried", "vetoed", "aborted", "deferred", "dropped"]
+    rows = []
+    for (node, strategy) in sorted(per):
+        counts = per[(node, strategy)]
+        rows.append(
+            [node, strategy, counts["plans"], counts["actions"]]
+            + [counts.get(f, 0) for f in fate_cols]
+        )
+    return render_table(
+        ["node", "strategy", "plans", "actions"] + fate_cols,
+        rows,
+        title="Planner",
     )
 
 
@@ -193,6 +250,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                 )
                 return 3
         panels.append(render_trace_summary(events))
+        planner = render_planner_panel(events)
+        if planner:
+            panels.append(planner)
 
     rc = 0
     if args.slo:

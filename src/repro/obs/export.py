@@ -25,6 +25,8 @@ __all__ = [
     "phase_byte_sums",
     "fault_kinds",
     "render_fault_report",
+    "plan_strategies",
+    "render_plan_report",
     "render_timeline",
     "render_trace_summary",
 ]
@@ -38,6 +40,11 @@ MIG_START = "mig.start"
 MIG_COMPLETE = "mig.complete"
 MIG_ABORT = "mig.abort"
 FAULT_INJECTED = "fault.injected"
+PLAN_EMITTED = "plan.emitted"
+PLAN_ACTION = "plan.action"
+PLAN_OUTCOME = "plan.outcome"
+PLAN_DEFER = "plan.defer"
+PLAN_DROP = "plan.drop"
 
 
 def _jsonable(value):
@@ -270,6 +277,154 @@ def render_fault_report(events: list[TraceEvent], kind: Optional[str] = None) ->
                 ["t (s)", "decision", "node", "detail"],
                 rows,
                 title="Detection & recovery",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def plan_strategies(events: list[TraceEvent]) -> list[str]:
+    """Strategy names that emitted ``plan.*`` records in this trace."""
+    return sorted(
+        {
+            str(ev.fields.get("strategy"))
+            for ev in events
+            if ev.name.startswith("plan.")
+            and ev.fields.get("strategy") is not None
+        }
+    )
+
+
+def render_plan_report(
+    events: list[TraceEvent], strategy: Optional[str] = None
+) -> str:
+    """The decision plane's story: plans, actions, and their fates.
+
+    Three tables from the ``plan.*`` vocabulary (emitted by the
+    conductor's planner and the consolidator, see docs/strategies.md):
+    one row per ``plan.emitted``, one row per planned action with its
+    eventual outcome (executed / retried / vetoed / aborted, or
+    deferred / dropped while parked), and a per-strategy rollup with
+    the score distribution (min / mean / max) of its actions.
+    Optionally filtered to one strategy name.
+    """
+    from ..analysis.report import render_table
+
+    plan_events = [ev for ev in events if ev.name.startswith("plan.")]
+    if strategy is not None:
+        plan_events = [
+            ev for ev in plan_events if ev.fields.get("strategy") == strategy
+        ]
+    if not plan_events:
+        return (
+            "(no plan.* records in trace — the default paper-threshold "
+            "strategy traces plans only with ConductorConfig.trace_plans=True)"
+            if strategy is None
+            else f"(no plan.* records for strategy {strategy!r} in trace)"
+        )
+
+    blocks = []
+    emitted = [ev for ev in plan_events if ev.name == PLAN_EMITTED]
+    if emitted:
+        rows = [
+            [
+                f"{ev.time:.6f}",
+                ev.fields.get("node", "?"),
+                ev.fields.get("strategy", "?"),
+                ev.fields.get("actions", "?"),
+            ]
+            for ev in emitted
+        ]
+        blocks.append(
+            render_table(
+                ["t (s)", "node", "strategy", "actions"],
+                rows,
+                title="Plans emitted",
+            )
+        )
+
+    # Pair each action with the latest fate recorded for its pid after
+    # the action was planned (outcome, defer or drop).
+    fates = [
+        ev
+        for ev in plan_events
+        if ev.name in (PLAN_OUTCOME, PLAN_DEFER, PLAN_DROP)
+    ]
+
+    def fate_of(action: TraceEvent) -> str:
+        pid = action.fields.get("pid")
+        for ev in fates:
+            if ev.fields.get("pid") == pid and ev.time >= action.time:
+                if ev.name == PLAN_OUTCOME:
+                    return str(ev.fields.get("outcome", "?"))
+                return "deferred" if ev.name == PLAN_DEFER else (
+                    f"dropped ({ev.fields.get('reason', '?')})"
+                )
+        return "pending"
+
+    actions = [ev for ev in plan_events if ev.name == PLAN_ACTION]
+    if actions:
+        rows = []
+        for ev in actions:
+            nb = ev.fields.get("not_before", 0.0) or 0.0
+            rows.append(
+                [
+                    f"{ev.time:.6f}",
+                    ev.fields.get("node", "?"),
+                    ev.fields.get("strategy", "?"),
+                    f"{ev.fields.get('proc', '?')} (pid {ev.fields.get('pid', '?')})",
+                    ev.fields.get("dest") or "-",
+                    f"{float(ev.fields.get('score', 0.0)):.2f}",
+                    f"{float(nb):.1f}" if nb else "-",
+                    fate_of(ev),
+                ]
+            )
+        blocks.append(
+            render_table(
+                [
+                    "t (s)",
+                    "node",
+                    "strategy",
+                    "process",
+                    "dest",
+                    "score",
+                    "not before",
+                    "fate",
+                ],
+                rows,
+                title="Planned actions",
+            )
+        )
+
+    # Per-strategy rollup: action counts by fate + score distribution.
+    per: dict[str, dict] = {}
+    for ev in actions:
+        s = str(ev.fields.get("strategy", "?"))
+        agg = per.setdefault(s, {"scores": [], "fates": {}})
+        agg["scores"].append(float(ev.fields.get("score", 0.0)))
+        fate = fate_of(ev).split(" ")[0]
+        agg["fates"][fate] = agg["fates"].get(fate, 0) + 1
+    if per:
+        rows = []
+        for s in sorted(per):
+            scores = per[s]["scores"]
+            fates_s = " ".join(
+                f"{k}={v}" for k, v in sorted(per[s]["fates"].items())
+            )
+            rows.append(
+                [
+                    s,
+                    len(scores),
+                    f"{min(scores):.2f}",
+                    f"{sum(scores) / len(scores):.2f}",
+                    f"{max(scores):.2f}",
+                    fates_s,
+                ]
+            )
+        blocks.append(
+            render_table(
+                ["strategy", "actions", "score min", "mean", "max", "fates"],
+                rows,
+                title="Per-strategy score distribution",
             )
         )
     return "\n\n".join(blocks)
