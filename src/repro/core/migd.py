@@ -190,8 +190,11 @@ class MigrationDaemon:
             st.rounds_received += 1
             tr = self.env.tracer
             if tr.enabled:
+                # Cross-node causal edge: the source engine put its
+                # round span's id in the wire body under "cause".
                 tr.event(
                     "migd.stage",
+                    caused_by=body.get("cause"),
                     pid=body["pid"],
                     session=st.session,
                     phase="round",
@@ -209,6 +212,7 @@ class MigrationDaemon:
             if tr.enabled:
                 tr.event(
                     "migd.stage",
+                    caused_by=body.get("cause"),
                     pid=body["pid"],
                     session=st.session,
                     phase="freeze",
@@ -232,6 +236,7 @@ class MigrationDaemon:
             if tr.enabled:
                 tr.event(
                     "migd.postcopy.push",
+                    caused_by=body.get("cause"),
                     pid=body["pid"],
                     session=fetcher.session,
                     pages=len(body["pages"]),
@@ -369,6 +374,7 @@ class MigrationDaemon:
         if tr.enabled:
             tr.event(
                 "migd.postcopy.serve",
+                caused_by=body.get("cause"),
                 pid=body["pid"],
                 session=store.session,
                 start=body["start"],
@@ -406,6 +412,7 @@ class MigrationDaemon:
                 faults=fetcher.faults,
                 fetched=fetcher.fetched_pages,
                 pushed=fetcher.pushed_pages,
+                fault_wait=fetcher.fault_wait,
             )
         if respond:
             respond(
@@ -452,7 +459,14 @@ class MigrationDaemon:
         st = self._staging(body, src_ip)
         tr = self.env.tracer
         restore_span = (
-            tr.begin("migd.restore", pid=pid, session=st.session) if tr.enabled else 0
+            tr.begin(
+                "migd.restore",
+                caused_by=body.get("cause"),
+                pid=pid,
+                session=st.session,
+            )
+            if tr.enabled
+            else 0
         )
         image = body["image"]
         proc = body["proc"]
@@ -521,6 +535,8 @@ class MigrationDaemon:
         if tr.enabled:
             tr.event(
                 "capture.reinject",
+                parent=restore_span or None,
+                caused_by=restore_span or None,
                 pid=pid,
                 session=st.session,
                 captured=captured_total,
@@ -543,6 +559,8 @@ class MigrationDaemon:
             if tr.enabled:
                 tr.event(
                     "migd.postcopy.arm",
+                    parent=restore_span or None,
+                    caused_by=restore_span or None,
                     pid=pid,
                     session=st.session,
                     absent=proc.address_space.absent_count,
@@ -552,7 +570,13 @@ class MigrationDaemon:
         kernel.adopt_process(proc)
         proc.thaw()
         if tr.enabled:
-            tr.event("migd.thaw", pid=pid, session=st.session, node=self.host.name)
+            tr.event(
+                "migd.thaw",
+                caused_by=restore_span or None,
+                pid=pid,
+                session=st.session,
+                node=self.host.name,
+            )
             tr.end(
                 restore_span,
                 restored_sockets=len(restored),

@@ -173,9 +173,11 @@ class PostcopyFetcher:
         t0 = self.env.now
         self.faults += 1
         tr = self.env.tracer
+        fault_ref = 0
         if tr.enabled:
-            tr.event(
+            fault_ref = tr.event(
                 "pagefaultd.fault",
+                ref=True,
                 pid=self.pid,
                 session=self.session,
                 start=start,
@@ -193,17 +195,22 @@ class PostcopyFetcher:
         done = Event(self.env)
         self._inflight[(start, end)] = done
         costs = self.host.kernel.costs
+        fetch_body = {
+            "op": "fetch",
+            "pid": self.pid,
+            "session": self.session,
+            "start": start,
+            "end": end,
+        }
+        if tr.causal and fault_ref:
+            # Cross-node causal edge: the source's migd.postcopy.serve
+            # record links back to the fault that demanded it.
+            fetch_body["cause"] = fault_ref
         try:
             reply = yield self.host.control.rpc(
                 self.source_ip,
                 MIGD_PORT,
-                {
-                    "op": "fetch",
-                    "pid": self.pid,
-                    "session": self.session,
-                    "start": start,
-                    "end": end,
-                },
+                fetch_body,
                 size=costs.postcopy_fetch_req_bytes,
                 timeout=self.rpc_timeout,
             )

@@ -162,6 +162,10 @@ class LiveMigrationEngine:
         #: and when the current level was applied.
         self._throttle = 0.0
         self._throttle_since = 0.0
+        #: Causal id of this migration's ``mig.start`` record (0 when
+        #: the tracer is not in causal mode); the hierarchy root for the
+        #: engine's phase spans.
+        self._causal_root = 0
 
     # -- public API -----------------------------------------------------------
     def start(self) -> Process:
@@ -179,8 +183,13 @@ class LiveMigrationEngine:
         sid = self.session.label
         tr = self.env.tracer
         if tr.enabled:
-            tr.event(
+            # Causal root of the whole migration: chains back to the
+            # conductor decision that launched it (when one seeded
+            # ``session.causal_ref``) and parents every phase span.
+            root = tr.event(
                 "mig.start",
+                caused_by=self.session.causal_ref or None,
+                ref=True,
                 pid=proc.pid,
                 session=sid,
                 name=proc.name,
@@ -189,6 +198,9 @@ class LiveMigrationEngine:
                 dest=self.dest.name,
                 n_threads=len(proc.threads),
             )
+            if root:
+                self._causal_root = root
+                self.session.causal_ref = root
 
         try:
             # Live-checkpoint request: signal, clone the helper thread,
@@ -240,6 +252,8 @@ class LiveMigrationEngine:
                 round_span = (
                     tr.begin(
                         "mig.precopy.round",
+                        parent=self._causal_root or None,
+                        caused_by=self.session.causal_ref or None,
                         pid=proc.pid,
                         session=sid,
                         round=report.precopy_rounds,
@@ -268,18 +282,21 @@ class LiveMigrationEngine:
                 vma_bytes = VMA_RECORD_BYTES * len(space.vmas) if first else vdiff.record_bytes()
                 sock_bytes = sum(r.nbytes for r in sock_records)
                 nbytes = wire_page_bytes + vma_bytes + sock_bytes
-                yield self.channel.request(
-                    {
-                        "op": "round",
-                        "pid": proc.pid,
-                        "pages": pages,
-                        "vmas": self._vma_tracker.current_map(space)
-                        if (first or not vdiff.empty)
-                        else None,
-                        "socket_records": sock_records,
-                    },
-                    nbytes,
-                )
+                round_body = {
+                    "op": "round",
+                    "pid": proc.pid,
+                    "pages": pages,
+                    "vmas": self._vma_tracker.current_map(space)
+                    if (first or not vdiff.empty)
+                    else None,
+                    "socket_records": sock_records,
+                }
+                if tr.causal and round_span:
+                    # The cross-node causal edge travels in the wire
+                    # body (message size is the explicit nbytes, so the
+                    # extra key never affects timing).
+                    round_body["cause"] = round_span
+                yield self.channel.request(round_body, nbytes)
                 if first:
                     self._full_copy_done = True
                 report.bytes.precopy_pages += wire_page_bytes
@@ -353,11 +370,22 @@ class LiveMigrationEngine:
             proc.freeze()
             report.frozen_at = self.env.now
             self.session.transition(SessionState.FREEZE)
+            freeze_ref = 0
             if tr.enabled:
-                tr.event("mig.freeze.enter", pid=proc.pid, session=sid)
+                freeze_ref = tr.event(
+                    "mig.freeze.enter",
+                    caused_by=self.session.causal_ref or None,
+                    ref=True,
+                    pid=proc.pid,
+                    session=sid,
+                )
+                if freeze_ref:
+                    self.ctx.causal_ref = freeze_ref
             barrier_span = (
                 tr.begin(
                     "mig.freeze.barrier",
+                    parent=self._causal_root or None,
+                    caused_by=freeze_ref or None,
                     pid=proc.pid,
                     session=sid,
                     threads=len(proc.threads),
@@ -435,9 +463,13 @@ class LiveMigrationEngine:
             report.bytes.freeze_files += file_bytes
             report.bytes.freeze_threads += thread_bytes
             report.compression_saved_bytes += page_bytes - wire_page_bytes
+            image_ref = 0
             if tr.enabled:
-                tr.event(
+                image_ref = tr.event(
                     "mig.freeze.image",
+                    parent=self._causal_root or None,
+                    caused_by=freeze_ref or None,
+                    ref=True,
                     pid=proc.pid,
                     session=sid,
                     page_bytes=wire_page_bytes,
@@ -474,6 +506,8 @@ class LiveMigrationEngine:
             transfer_span = (
                 tr.begin(
                     "mig.freeze.transfer",
+                    parent=self._causal_root or None,
+                    caused_by=image_ref or None,
                     pid=proc.pid,
                     session=sid,
                     nbytes=image.total_bytes,
@@ -481,6 +515,8 @@ class LiveMigrationEngine:
                 if tr.enabled
                 else 0
             )
+            if tr.causal and transfer_span:
+                freeze_body["cause"] = transfer_span
             reply = yield self.channel.request(freeze_body, image.total_bytes)
             report.thawed_at = reply["thawed_at"]
             report.packets_captured = reply["captured"]
@@ -494,12 +530,16 @@ class LiveMigrationEngine:
                 # destination; push the residual set and serve faults.
                 self.session.transition(SessionState.POSTCOPY)
                 if tr.enabled:
-                    tr.event(
+                    enter_ref = tr.event(
                         "mig.postcopy.enter",
+                        caused_by=self.session.causal_ref or None,
+                        ref=True,
                         pid=proc.pid,
                         session=sid,
                         residual_pages=postcopy_store.remaining_pages,
                     )
+                    if enter_ref:
+                        self.session.causal_ref = enter_ref
                 yield from self._postcopy_push(postcopy_store)
                 self.source_migd.unregister_postcopy(sid)
 
@@ -509,6 +549,7 @@ class LiveMigrationEngine:
             if tr.enabled:
                 tr.event(
                     "mig.complete",
+                    caused_by=self.session.causal_ref or None,
                     pid=proc.pid,
                     session=sid,
                     rounds=report.precopy_rounds,
@@ -569,7 +610,11 @@ class LiveMigrationEngine:
             )
             if crashed:
                 fields["crashed"] = True
-            tr.event("mig.abort", **fields)
+            tr.event(
+                "mig.abort",
+                caused_by=self.session.causal_ref or None,
+                **fields,
+            )
         return report
 
     # -- auto-convergence ------------------------------------------------------
@@ -592,6 +637,7 @@ class LiveMigrationEngine:
         if tr.enabled:
             tr.event(
                 "mig.autoconverge.throttle",
+                caused_by=self._causal_root or None,
                 pid=self.proc.pid,
                 session=self.session.label,
                 round=report.precopy_rounds - 1,
@@ -614,6 +660,7 @@ class LiveMigrationEngine:
         if tr.enabled:
             tr.event(
                 "mig.autoconverge.release",
+                caused_by=self._causal_root or None,
                 pid=self.proc.pid,
                 session=self.session.label,
                 throttled_seconds=report.throttled_seconds,
@@ -638,14 +685,17 @@ class LiveMigrationEngine:
             wire, ccpu = self.channel.compress_pages(batch, raw)
             if ccpu:
                 yield self.env.timeout(ccpu)
-            yield self.channel.request(
-                {"op": "push", "pid": proc.pid, "pages": batch}, wire
-            )
+            push_body = {"op": "push", "pid": proc.pid, "pages": batch}
+            if tr.causal and self.session.causal_ref:
+                push_body["cause"] = self.session.causal_ref
+            yield self.channel.request(push_body, wire)
             report.bytes.postcopy_pages += wire
             report.compression_saved_bytes += raw - wire
             if tr.enabled:
                 tr.event(
                     "mig.postcopy.push",
+                    parent=self._causal_root or None,
+                    caused_by=self.session.causal_ref or None,
                     pid=proc.pid,
                     session=sid,
                     pages=len(batch),

@@ -156,6 +156,11 @@ class MigrationSession:
         self.tombstone_keys: list = []
         self.relocated_rules: list = []
         self._rolled_back = False
+        #: Causal id of the most recent record on this session's causal
+        #: chain (0 = none).  Seeded by the conductor with its decision
+        #: record; each ``session.state`` event links back to it and
+        #: becomes the new head.  Only meaningful under a causal tracer.
+        self.causal_ref: int = 0
 
     # -- state machine ------------------------------------------------------
     @property
@@ -177,13 +182,21 @@ class MigrationSession:
             self.env.faults.on_transition(self, self.state, to)
         tr = self.env.tracer
         if tr.enabled:
-            tr.event(
+            # Under a causal tracer each phase transition links back to
+            # the previous record on the session chain and becomes the
+            # new chain head; with causal mode off this is byte-for-byte
+            # the historical event.
+            ref = tr.event(
                 "session.state",
+                caused_by=self.causal_ref or None,
+                ref=True,
                 pid=self.id.pid,
                 session=self.label,
                 frm=self.state.value,
                 to=to.value,
             )
+            if ref:
+                self.causal_ref = ref
         self.state = to
 
     # -- abort/rollback -----------------------------------------------------

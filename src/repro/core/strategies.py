@@ -98,6 +98,10 @@ class MigrationContext:
     #: Session id string (``source>dest#pid``) carried by every wire
     #: body and trace record of this migration; None for bare contexts.
     session: Optional[str] = None
+    #: Causal id of the freeze-enter record (causal tracer only, else
+    #: 0); strategies stamp it on their wire bodies as ``"cause"`` so
+    #: destination-side staging records chain back to the freeze.
+    causal_ref: int = 0
     #: flow_id -> source socket object, for in-place restore.
     originals: dict = field(default_factory=dict)
     #: (remote ip, remote port, local port) -> physical peer address,
@@ -107,6 +111,13 @@ class MigrationContext:
     @property
     def env(self):
         return self.source.env
+
+    def stamp_cause(self, body: dict) -> dict:
+        """Attach the freeze causal ref to a wire body (causal tracer
+        only — default-trace wire bodies stay unchanged)."""
+        if self.causal_ref and self.env.tracer.causal:
+            body["cause"] = self.causal_ref
+        return body
 
     def local_prefix(self) -> str:
         return self.source.kernel.local_prefix
@@ -276,13 +287,19 @@ class IterativeSocketMigration(SocketMigrationStrategy):
             # alternation (and the per-socket capture round-trip) is
             # exactly what makes this baseline slow.
             ctx.channel.send(
-                {"op": "sockets", "pid": ctx.proc.pid, "records": [rec]}, rec.nbytes
+                ctx.stamp_cause(
+                    {"op": "sockets", "pid": ctx.proc.pid, "records": [rec]}
+                ),
+                rec.nbytes,
             )
             sent_any = True
         if sent_any:
             # Barrier: ensure all streamed records were applied.
             yield ctx.channel.request(
-                {"op": "sockets", "pid": ctx.proc.pid, "records": []}, 1
+                ctx.stamp_cause(
+                    {"op": "sockets", "pid": ctx.proc.pid, "records": []}
+                ),
+                1,
             )
 
 
@@ -309,7 +326,10 @@ class CollectiveSocketMigration(SocketMigrationStrategy):
         ctx.report.bytes.freeze_sockets += total
         if records:
             yield ctx.channel.request(
-                {"op": "sockets", "pid": ctx.proc.pid, "records": records}, total
+                ctx.stamp_cause(
+                    {"op": "sockets", "pid": ctx.proc.pid, "records": records}
+                ),
+                total,
             )
         # Phase 3 (regular FD iteration minus sockets) runs in the engine.
 

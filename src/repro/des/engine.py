@@ -65,14 +65,25 @@ class Environment:
         return self._active_proc
 
     # -- observability -------------------------------------------------------
-    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+    def enable_tracing(
+        self,
+        tracer: Optional[Tracer] = None,
+        *,
+        causal: bool = False,
+        max_events: Optional[int] = None,
+    ) -> Tracer:
         """Attach a recording :class:`~repro.obs.Tracer` (and return it).
 
         Until this is called, :attr:`tracer` is the shared no-op tracer
         and instrumented components pay only an attribute load plus a
-        branch per would-be record.
+        branch per would-be record.  ``causal=True`` records parent /
+        caused-by causal edges (default traces stay byte-identical);
+        ``max_events=N`` bounds tracer memory with a ring buffer (see
+        :class:`~repro.obs.Tracer`).
         """
-        self.tracer = tracer if tracer is not None else Tracer(self)
+        if tracer is None:
+            tracer = Tracer(self, causal=causal, max_events=max_events)
+        self.tracer = tracer
         return self.tracer
 
     def disable_tracing(self) -> None:

@@ -81,6 +81,9 @@ class FaultInjector:
         #: Hosts taken down permanently; a stall's resume never
         #: resurrects a crashed node.
         self._crashed: set[str] = set()
+        #: Causal id of each fault's ``fault.injected`` record (causal
+        #: tracer only), so effect events chain back to the injection.
+        self._injection_refs: dict[int, int] = {}
 
     # -- arming ---------------------------------------------------------------
     def arm(self) -> "FaultInjector":
@@ -151,18 +154,23 @@ class FaultInjector:
         raise ValueError(f"unknown node target {target!r}")
 
     # -- delivery: announcements ---------------------------------------------
-    def _record_injection(self, fault: Fault, **extra) -> None:
+    def _record_injection(self, fault: Fault, **extra) -> int:
         self.injected_total += 1
         tr = self.env.tracer
+        ref = 0
         if tr.enabled:
-            tr.event(
+            ref = tr.event(
                 "fault.injected",
+                ref=True,
                 kind=fault.kind,
                 scope=fault.scope,
                 target=fault.target,
                 fault=fault.describe(),
                 **extra,
             )
+            if ref:
+                self._injection_refs[id(fault)] = ref
+        return ref
 
     def _announce(self, fault: _WindowedLinkFault):
         """Windowed link faults are passive filters; this process marks
@@ -177,27 +185,32 @@ class FaultInjector:
             yield self.env.timeout(fault.at - self.env.now)
         host = self._resolve_host(fault.target)
         ifaces = [i for i in (host.public_iface, host.local_iface) if i is not None]
-        self._record_injection(fault, node=host.name)
+        ref = self._record_injection(fault, node=host.name)
         tr = self.env.tracer
         if isinstance(fault, NodeCrash):
             self._crashed.add(host.name)
             for iface in ifaces:
                 iface.up = False
             if tr.enabled:
-                tr.event("fault.node.crash", node=host.name)
+                tr.event("fault.node.crash", caused_by=ref or None, node=host.name)
             return
         # Stall: down, hold, resume — unless a crash landed meanwhile.
         for iface in ifaces:
             iface.up = False
         if tr.enabled:
-            tr.event("fault.node.stall", node=host.name, duration=fault.duration)
+            tr.event(
+                "fault.node.stall",
+                caused_by=ref or None,
+                node=host.name,
+                duration=fault.duration,
+            )
         yield self.env.timeout(fault.duration)
         if host.name in self._crashed:
             return
         for iface in ifaces:
             iface.up = True
         if tr.enabled:
-            tr.event("fault.node.resume", node=host.name)
+            tr.event("fault.node.resume", caused_by=ref or None, node=host.name)
 
     # -- delivery: link filter -------------------------------------------------
     def _make_filter(self, link: Link, faults: list[_WindowedLinkFault]):
@@ -221,6 +234,7 @@ class FaultInjector:
                 if tr.enabled:
                     tr.event(
                         f"fault.link.{'corrupt' if verdict == CORRUPT else 'drop'}",
+                        caused_by=self._injection_refs.get(id(fault)),
                         link=link.name,
                         kind=fault.kind,
                         from_side=from_side,
@@ -280,16 +294,22 @@ class FaultInjector:
 
     def _deliver_abort(self, fault: MigdAbort, session: "MigrationSession") -> None:
         self.migd_aborts += 1
-        self._record_injection(fault, session=session.label, phase=fault.phase)
+        ref = self._record_injection(fault, session=session.label, phase=fault.phase)
         tr = self.env.tracer
         if tr.enabled:
-            tr.event(
+            abort_ref = tr.event(
                 "fault.migd.abort",
+                caused_by=ref or None,
+                ref=True,
                 session=session.label,
                 pid=session.id.pid,
                 phase=fault.phase,
                 dest=session.dest.name,
             )
+            if abort_ref:
+                # The session's next records (ABORTED transition,
+                # mig.abort) chain back to the injected fault.
+                session.causal_ref = abort_ref
 
 
 def install_faults(cluster: "Cluster", plan: FaultPlan, rng=None) -> FaultInjector:

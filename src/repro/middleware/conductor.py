@@ -393,7 +393,9 @@ class Conductor:
             # strategy, execute the plan through admission/retry.
             yield from self.planner.round()
 
-    def _try_migrate(self, proc: SimProcess, candidates: list[LoadInfo]):
+    def _try_migrate(
+        self, proc: SimProcess, candidates: list[LoadInfo], cause: int = 0
+    ):
         """Walk the ranked candidates with retry-with-backoff.
 
         A failed attempt leaves the process safe on the source (the
@@ -402,6 +404,10 @@ class Conductor:
         the retry budget runs out.  A reserve that goes unanswered also
         burns an attempt — that silence is exactly what a dead
         destination looks like before the detector has declared it.
+
+        ``cause`` is the causal id of the plan action that requested the
+        migration (0 = none); under a causal tracer the recovery
+        decisions and the launch decision chain back to it.
 
         Returns an outcome dict for the planner's accounting:
         ``{"success", "attempts", "reserved"}`` — ``attempts`` counts
@@ -423,6 +429,7 @@ class Conductor:
                 if tr.enabled:
                     tr.event(
                         "recover.backoff",
+                        caused_by=cause or None,
                         node=me,
                         pid=proc.pid,
                         attempt=attempt,
@@ -433,6 +440,7 @@ class Conductor:
                 if tr.enabled:
                     tr.event(
                         "recover.skip",
+                        caused_by=cause or None,
                         node=me,
                         pid=proc.pid,
                         dest=candidate.node_name,
@@ -454,6 +462,7 @@ class Conductor:
                 if tr.enabled:
                     tr.event(
                         "recover.retry",
+                        caused_by=cause or None,
                         node=me,
                         pid=proc.pid,
                         attempt=attempt,
@@ -472,8 +481,13 @@ class Conductor:
             engine = LiveMigrationEngine(self.host, dest, proc, self.config.migration)
             session = engine.session.label
             if tr.enabled:
-                tr.event(
+                # Seed the session's causal chain: mig.start (and the
+                # whole migration DAG under it) links back to this
+                # launch decision, which links back to the plan action.
+                decision_ref = tr.event(
                     "cond.decision",
+                    caused_by=cause or None,
+                    ref=True,
                     node=me,
                     pid=proc.pid,
                     session=session,
@@ -481,6 +495,8 @@ class Conductor:
                     dest=dest.name,
                     attempt=attempt,
                 )
+                if decision_ref:
+                    engine.session.causal_ref = decision_ref
             report: MigrationReport = yield engine.start()
             self.events.append(
                 MigrationEvent(
@@ -517,6 +533,7 @@ class Conductor:
             if tr.enabled:
                 tr.event(
                     "recover.retry",
+                    caused_by=cause or None,
                     node=me,
                     pid=proc.pid,
                     session=session,
@@ -528,7 +545,11 @@ class Conductor:
             self.giveups_total += 1
             if tr.enabled:
                 tr.event(
-                    "recover.giveup", node=me, pid=proc.pid, attempts=attempt
+                    "recover.giveup",
+                    caused_by=cause or None,
+                    node=me,
+                    pid=proc.pid,
+                    attempts=attempt,
                 )
         # Nobody accepted (or nothing landed): abort our own reservation
         # without calm-down — the process is still here to balance.

@@ -167,6 +167,10 @@ class MigrationAction:
     score: float = 0.0
     #: Earliest simulated time this action should execute (0 = now).
     not_before: float = 0.0
+    #: Causal id of this action's ``plan.action`` trace record (0 when
+    #: plan tracing is off or the tracer is not causal); fate records
+    #: and the launched session chain back to it.
+    causal_ref: int = 0
 
     @property
     def destination(self) -> Optional[LoadInfo]:
@@ -805,6 +809,7 @@ class Planner:
             outcome = yield from cond._try_migrate(
                 action.proc,
                 list(action.candidates)[: cond.config.max_candidates],
+                cause=action.causal_ref,
             )
             self._account(action, outcome)
 
@@ -833,6 +838,7 @@ class Planner:
             outcome = yield from cond._try_migrate(
                 action.proc,
                 list(action.candidates)[: cond.config.max_candidates],
+                cause=action.causal_ref,
             )
             self._account(action, outcome)
         finally:
@@ -863,7 +869,9 @@ class Planner:
                 if c.local_ip in live
             ]
             outcome = yield from cond._try_migrate(
-                action.proc, candidates[: cond.config.max_candidates]
+                action.proc,
+                candidates[: cond.config.max_candidates],
+                cause=action.causal_ref,
             )
             self._account(action, outcome)
 
@@ -889,6 +897,7 @@ class Planner:
         if self.trace_plans and tr.enabled:
             tr.event(
                 "plan.defer",
+                caused_by=action.causal_ref or None,
                 node=self.cond.host.name,
                 strategy=self.strategy.name,
                 pid=action.proc.pid,
@@ -901,6 +910,7 @@ class Planner:
         if self.trace_plans and tr.enabled:
             tr.event(
                 "plan.drop",
+                caused_by=action.causal_ref or None,
                 node=self.cond.host.name,
                 strategy=self.strategy.name,
                 pid=action.proc.pid,
@@ -922,6 +932,7 @@ class Planner:
             dest = action.destination
             tr.event(
                 "plan.outcome",
+                caused_by=action.causal_ref or None,
                 node=self.cond.host.name,
                 strategy=self.strategy.name,
                 pid=action.proc.pid,
@@ -934,16 +945,24 @@ class Planner:
         tr = self.env.tracer
         if not (self.trace_plans and tr.enabled):
             return
-        tr.event(
+        # Under a causal tracer each plan.action carries the emitting
+        # plan as its parent/cause and gets its own ref; the action's
+        # later fate records (defer/drop/outcome) and the conductor's
+        # cond.decision link back to it via ``action.causal_ref``.
+        plan_ref = tr.event(
             "plan.emitted",
+            ref=True,
             node=self.cond.host.name,
             strategy=plan.strategy,
             actions=len(plan.actions),
         )
         for action in plan.actions:
             dest = action.destination
-            tr.event(
+            action.causal_ref = tr.event(
                 "plan.action",
+                parent=plan_ref or None,
+                caused_by=plan_ref or None,
+                ref=True,
                 node=self.cond.host.name,
                 strategy=plan.strategy,
                 pid=action.proc.pid,

@@ -1,7 +1,8 @@
 """``repro.obs`` — tracing and metrics for the simulated cluster.
 
 - :mod:`tracer` — typed span/event recording with simulated timestamps,
-  zero-overhead when disabled (the default);
+  zero-overhead when disabled (the default); ``Tracer(causal=True)``
+  additionally records parent-span and cross-node ``caused_by`` edges;
 - :mod:`metrics` — counters/gauges/histograms sampled into the existing
   :class:`~repro.des.TimeSeries` machinery;
 - :mod:`samplers` — per-node ``node.<ip>.*`` pull-based gauges covering
@@ -10,15 +11,43 @@
 - :mod:`slo` — declarative SLO rules evaluated against a finished run;
 - :mod:`export` — JSONL trace export/import, per-migration phase
   timelines and summary tables, byte-reconciliation helpers;
+- :mod:`causal` — the per-session causal DAG, the downtime
+  critical-path decomposition (attribution sums to 100% of measured
+  downtime) and the degradation breakdown;
+- :mod:`perfetto` — Chrome trace-event JSON export for
+  ``chrome://tracing`` / ui.perfetto.dev;
+- :mod:`diff` — trace-to-trace and bench-to-bench regression
+  root-causing;
 - :mod:`cli` / :mod:`bench` / :mod:`dash` — the ``repro-trace``,
   ``repro-bench`` and ``repro-dash`` commands.
 
-See ``docs/observability.md`` for the span-name vocabulary, the metric
-namespace, the SLO rule syntax and the ``BENCH_*.json`` schema.
+See ``docs/observability.md`` for the span-name vocabulary, the causal
+edge vocabulary, the critical-path methodology, the metric namespace,
+the SLO rule syntax and the ``BENCH_*.json`` schema.
 """
 
+from .causal import (
+    CausalEdge,
+    CausalGraph,
+    CausalNode,
+    CriticalPath,
+    PathSegment,
+    build_causal_graph,
+    degradation_breakdown,
+    downtime_critical_path,
+    render_critical_path,
+    total_critical_path,
+)
+from .diff import (
+    MetricDelta,
+    SessionDiff,
+    bench_root_cause_table,
+    diff_traces,
+    render_trace_diff,
+)
 from .export import (
     MigrationSlice,
+    TraceParseError,
     fault_kinds,
     migration_slices,
     phase_byte_sums,
@@ -38,9 +67,18 @@ from .metrics import (
     MetricsRegistry,
     install_metrics_sampler,
 )
+from .perfetto import to_chrome_trace, write_chrome_trace
 from .samplers import install_host_sampler, install_node_samplers, node_metric_prefix
 from .slo import SLOCheck, SLOReport, SLORule, evaluate_slos, parse_rule
-from .tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer, assemble_spans
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    assemble_spans,
+    cause_id,
+)
 
 __all__ = [
     "Tracer",
@@ -49,6 +87,7 @@ __all__ = [
     "TraceEvent",
     "Span",
     "assemble_spans",
+    "cause_id",
     "Counter",
     "Gauge",
     "Histogram",
@@ -65,6 +104,7 @@ __all__ = [
     "trace_to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "TraceParseError",
     "migration_slices",
     "MigrationSlice",
     "phase_byte_sums",
@@ -74,4 +114,21 @@ __all__ = [
     "render_fault_report",
     "plan_strategies",
     "render_plan_report",
+    "CausalNode",
+    "CausalEdge",
+    "CausalGraph",
+    "build_causal_graph",
+    "PathSegment",
+    "CriticalPath",
+    "downtime_critical_path",
+    "total_critical_path",
+    "degradation_breakdown",
+    "render_critical_path",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "MetricDelta",
+    "SessionDiff",
+    "diff_traces",
+    "render_trace_diff",
+    "bench_root_cause_table",
 ]

@@ -409,6 +409,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(render_comparison(results, args.threshold))
     bad = [r for r in results if r["status"] in ("regressed", "missing")]
     if bad:
+        # Root-cause the failure: rank *every* movement (metrics and
+        # histogram percentiles), not just the gated ones, so the
+        # largest mover is visible even when it wasn't gated itself.
+        from .diff import bench_root_cause_table
+
+        print()
+        print(bench_root_cause_table(old, new, results))
         for r in bad:
             print(
                 f"repro-bench: {r['status']}: {r['metric']}",

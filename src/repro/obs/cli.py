@@ -10,9 +10,14 @@ Usage::
     repro-trace trace.jsonl --faults crash    # one fault kind
     repro-trace trace.jsonl --plans           # decision-plane report
     repro-trace trace.jsonl --plans cycle-aware   # one strategy
+    repro-trace trace.jsonl --critical-path   # downtime attribution
+    repro-trace trace.jsonl --perfetto out.json   # chrome://tracing export
+    repro-trace diff old.jsonl new.jsonl      # root-cause a regression
 
 With no mode flag both the summary table and the per-migration phase
-timelines are printed.
+timelines are printed.  A malformed trace exits 2 with the offending
+line number; ``--skip-bad-lines`` analyses what survives of a truncated
+trace instead.
 """
 
 from __future__ import annotations
@@ -22,7 +27,10 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from .causal import render_critical_path
+from .diff import render_trace_diff
 from .export import (
+    TraceParseError,
     fault_kinds,
     migration_slices,
     plan_strategies,
@@ -32,8 +40,9 @@ from .export import (
     render_timeline,
     render_trace_summary,
 )
+from .perfetto import write_chrome_trace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_diff_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +86,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", action="store_true", help="print only the summary table"
     )
     parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the downtime critical path, total-time phase "
+        "attribution, and degradation contributors per migration",
+    )
+    parser.add_argument(
+        "--perfetto",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="also write a Chrome trace-event JSON export loadable in "
+        "chrome://tracing or ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--skip-bad-lines",
+        action="store_true",
+        help="drop malformed trace lines instead of failing (for "
+        "truncated traces)",
+    )
+    parser.add_argument(
         "--max-rows",
         type=int,
         default=200,
@@ -85,16 +114,66 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if not args.trace.exists():
-        print(f"repro-trace: no such file: {args.trace}", file=sys.stderr)
-        return 2
+def build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace diff",
+        description="Align two traces' migrations and rank per-phase "
+        "movements to root-cause a regression.",
+    )
+    parser.add_argument("old", type=Path, help="baseline JSONL trace")
+    parser.add_argument("new", type=Path, help="candidate JSONL trace")
+    parser.add_argument(
+        "--skip-bad-lines",
+        action="store_true",
+        help="drop malformed trace lines instead of failing",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=12,
+        help="cap ranked quantities per migration (default 12)",
+    )
+    return parser
+
+
+def _load(path: Path, skip_bad_lines: bool):
+    """Read a trace or exit-code it: (events, None) or (None, code)."""
+    if not path.exists():
+        print(f"repro-trace: no such file: {path}", file=sys.stderr)
+        return None, 2
     try:
-        events = read_jsonl(args.trace)
+        return read_jsonl(path, skip_bad_lines=skip_bad_lines), None
+    except TraceParseError as exc:
+        print(f"repro-trace: {exc} (use --skip-bad-lines to drop)", file=sys.stderr)
+        return None, 2
     except (ValueError, KeyError, TypeError) as exc:
-        print(f"repro-trace: {args.trace} is not a JSONL trace: {exc}", file=sys.stderr)
-        return 2
+        print(f"repro-trace: {path} is not a JSONL trace: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _main_diff(argv: list[str]) -> int:
+    args = build_diff_parser().parse_args(argv)
+    old_events, code = _load(args.old, args.skip_bad_lines)
+    if code is not None:
+        return code
+    new_events, code = _load(args.new, args.skip_bad_lines)
+    if code is not None:
+        return code
+    print(render_trace_diff(old_events, new_events, max_rows=args.max_rows))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `diff` rides as a subcommand ahead of the (positional-trace)
+    # single-file parser.
+    if argv and argv[0] == "diff":
+        return _main_diff(argv[1:])
+    args = build_parser().parse_args(argv)
+    events, code = _load(args.trace, args.skip_bad_lines)
+    if code is not None:
+        return code
     if args.session is not None:
         known = [
             s.session for s in migration_slices(events) if s.session is not None
@@ -129,6 +208,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             if known:
                 print("known strategies: " + ", ".join(known), file=sys.stderr)
             return 3
+    if args.perfetto is not None:
+        out = write_chrome_trace(args.perfetto, events)
+        print(f"wrote {out}", file=sys.stderr)
+    if args.critical_path:
+        print(render_critical_path(events, session=args.session, pid=args.pid))
+        return 0
     show_summary = args.summary or not args.timeline
     show_timeline = args.timeline or not args.summary
     if show_summary:

@@ -253,6 +253,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         planner = render_planner_panel(events)
         if planner:
             panels.append(planner)
+        from .causal import render_critical_path
+
+        critical = render_critical_path(events, session=args.session)
+        if critical and not critical.startswith("(no migrations"):
+            panels.append(critical)
 
     rc = 0
     if args.slo:

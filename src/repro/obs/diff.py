@@ -1,0 +1,311 @@
+"""Trace-diff: explain *why* two runs differ, not just that they do.
+
+Two entry points:
+
+- :func:`diff_traces` / :func:`render_trace_diff` align two traces'
+  migrations (by session id when both sides have one, by order
+  otherwise) and compare per-phase wall-clock and byte totals, sorted
+  by absolute delta — the phase at the top of the table is the root
+  cause of the regression;
+- :func:`bench_root_cause_table` does the analogous alignment for two
+  ``repro-bench/1`` documents, ranking every metric and histogram-
+  percentile movement so a failed ``repro-bench compare`` gate prints
+  *which* measured quantity moved the most, not just the gate verdict.
+
+Both are pure functions over already-parsed inputs; the CLI wiring
+lives in :mod:`repro.obs.cli` (``repro-trace diff A B``) and
+:mod:`repro.obs.bench` (``repro-bench compare``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .causal import downtime_critical_path
+from .export import MigrationSlice, migration_slices, phase_byte_sums
+from .tracer import TraceEvent
+
+__all__ = [
+    "MetricDelta",
+    "SessionDiff",
+    "diff_traces",
+    "render_trace_diff",
+    "bench_root_cause_table",
+]
+
+
+@dataclass
+class MetricDelta:
+    """One compared quantity: old value, new value, signed delta."""
+
+    name: str
+    old: Optional[float]
+    new: Optional[float]
+    unit: str = ""
+
+    @property
+    def delta(self) -> float:
+        if self.old is None or self.new is None:
+            return 0.0
+        return self.new - self.old
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        if self.old is None or self.new is None or self.old == 0:
+            return None
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class SessionDiff:
+    """One aligned migration pair (or an unmatched singleton)."""
+
+    session: str
+    #: ``"matched"`` / ``"only_old"`` / ``"only_new"``.
+    status: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+
+    def ranked(self) -> list[MetricDelta]:
+        """Deltas by descending absolute magnitude (the root-cause
+        ordering); zero-delta rows are dropped."""
+        return sorted(
+            (d for d in self.deltas if d.delta != 0.0 or d.old is None or d.new is None),
+            key=lambda d: -abs(d.delta),
+        )
+
+
+def _span_seconds(sl: MigrationSlice, name: str) -> float:
+    """Total finished-span seconds of ``name`` within the slice."""
+    return sum(
+        s.end - s.start for s in sl.spans(name) if s.end is not None
+    )
+
+
+def _slice_metrics(sl: MigrationSlice) -> dict[str, tuple[float, str]]:
+    """The compared quantities of one migration, ``name -> (value, unit)``."""
+    out: dict[str, tuple[float, str]] = {}
+    if sl.terminal is not None:
+        out["total_time"] = (sl.terminal.time - sl.start.time, "s")
+    down = downtime_critical_path(sl)
+    if down is not None:
+        out["downtime"] = (down.total, "s")
+        for label, secs, _pct in down.attribution():
+            out[f"downtime.{label}"] = (secs, "s")
+    rounds = [s for s in sl.spans("mig.precopy.round") if s.end is not None]
+    out["precopy.rounds"] = (float(len(rounds)), "")
+    if rounds:
+        out["precopy.seconds"] = (sum(s.end - s.start for s in rounds), "s")
+    for name, key in (
+        ("mig.freeze.barrier", "freeze.barrier"),
+        ("mig.freeze.transfer", "freeze.transfer"),
+        ("migd.restore", "restore"),
+    ):
+        secs = _span_seconds(sl, name)
+        if secs:
+            out[key] = (secs, "s")
+    for key, nbytes in phase_byte_sums(sl).items():
+        if nbytes:
+            out[f"bytes.{key}"] = (float(nbytes), "B")
+    faults = sum(1 for e in sl.events if e.name == "pagefaultd.fault")
+    if faults:
+        out["postcopy.faults"] = (float(faults), "")
+    for e in sl.events:
+        if e.name == "migd.postcopy.done" and "fault_wait" in e.fields:
+            out["postcopy.fault_wait"] = (
+                out.get("postcopy.fault_wait", (0.0, "s"))[0]
+                + float(e.fields["fault_wait"]),
+                "s",
+            )
+    return out
+
+
+def _align(
+    old: list[MigrationSlice], new: list[MigrationSlice]
+) -> list[tuple[str, Optional[MigrationSlice], Optional[MigrationSlice]]]:
+    """Pair slices by session id where both sides have one; leftovers
+    (and id-less slices) pair by order of appearance."""
+    old_by_id = {s.session: s for s in old if s.session is not None}
+    new_by_id = {s.session: s for s in new if s.session is not None}
+    pairs: list[tuple[str, Optional[MigrationSlice], Optional[MigrationSlice]]] = []
+    claimed_new: set[int] = set()
+    leftovers_old: list[MigrationSlice] = []
+    for sl in old:
+        mate = new_by_id.get(sl.session) if sl.session is not None else None
+        if mate is not None:
+            pairs.append((sl.session, sl, mate))
+            claimed_new.add(id(mate))
+        else:
+            leftovers_old.append(sl)
+    leftovers_new = [
+        sl
+        for sl in new
+        if id(sl) not in claimed_new
+        and (sl.session is None or sl.session not in old_by_id)
+    ]
+    for i in range(max(len(leftovers_old), len(leftovers_new))):
+        a = leftovers_old[i] if i < len(leftovers_old) else None
+        b = leftovers_new[i] if i < len(leftovers_new) else None
+        ident = (
+            (a.session if a is not None else None)
+            or (b.session if b is not None else None)
+            or f"#{i + 1}"
+        )
+        pairs.append((ident, a, b))
+    return pairs
+
+
+def diff_traces(
+    old_events: list[TraceEvent], new_events: list[TraceEvent]
+) -> list[SessionDiff]:
+    """Align and compare every migration across two traces."""
+    out: list[SessionDiff] = []
+    for ident, a, b in _align(
+        migration_slices(old_events), migration_slices(new_events)
+    ):
+        if a is None:
+            out.append(SessionDiff(session=ident, status="only_new"))
+            continue
+        if b is None:
+            out.append(SessionDiff(session=ident, status="only_old"))
+            continue
+        old_m = _slice_metrics(a)
+        new_m = _slice_metrics(b)
+        deltas = []
+        for name in sorted(set(old_m) | set(new_m)):
+            ov, ounit = old_m.get(name, (None, ""))
+            nv, nunit = new_m.get(name, (None, ""))
+            deltas.append(
+                MetricDelta(name=name, old=ov, new=nv, unit=ounit or nunit)
+            )
+        out.append(SessionDiff(session=ident, status="matched", deltas=deltas))
+    return out
+
+
+def _fmt_val(v: Optional[float], unit: str) -> str:
+    if v is None:
+        return "—"
+    if unit == "s":
+        return f"{v * 1e3:.3f} ms"
+    if unit == "B":
+        return f"{int(v)} B"
+    return f"{v:g}"
+
+
+def render_trace_diff(
+    old_events: list[TraceEvent],
+    new_events: list[TraceEvent],
+    max_rows: int = 12,
+) -> str:
+    """The ``repro-trace diff`` report: per aligned migration, the
+    compared quantities ranked by absolute movement."""
+    from ..analysis.report import render_table
+
+    diffs = diff_traces(old_events, new_events)
+    if not diffs:
+        return "(no migrations in either trace)"
+    blocks: list[str] = []
+    for d in diffs:
+        if d.status == "only_old":
+            blocks.append(f"session {d.session}: only in OLD trace")
+            continue
+        if d.status == "only_new":
+            blocks.append(f"session {d.session}: only in NEW trace")
+            continue
+        ranked = d.ranked()
+        if not ranked:
+            blocks.append(f"session {d.session}: identical")
+            continue
+        rows = []
+        for m in ranked[:max_rows]:
+            pct = m.change_pct
+            rows.append(
+                [
+                    m.name,
+                    _fmt_val(m.old, m.unit),
+                    _fmt_val(m.new, m.unit),
+                    _fmt_val(m.delta, m.unit) if m.old is not None and m.new is not None else "—",
+                    f"{pct:+.1f}%" if pct is not None else "—",
+                ]
+            )
+        dropped = len(ranked) - len(rows)
+        title = f"trace diff — session {d.session}"
+        if dropped > 0:
+            title += f" (top {max_rows} of {len(ranked)} moved quantities)"
+        blocks.append(
+            render_table(["quantity", "old", "new", "delta", "change"], rows, title=title)
+        )
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Bench-document root cause
+# ---------------------------------------------------------------------------
+def bench_root_cause_table(
+    old_doc: dict,
+    new_doc: dict,
+    results: Optional[list[dict]] = None,
+    max_rows: int = 10,
+) -> str:
+    """Rank every metric and histogram-percentile movement between two
+    ``repro-bench/1`` documents, largest relative change first.
+
+    ``results`` (the :func:`~repro.obs.bench.compare_benches` output, if
+    available) marks gate-regressed metrics with ``*`` so the table ties
+    back to the verdict that failed the run.
+    """
+    from ..analysis.report import render_table
+
+    flagged = {
+        r["metric"] for r in (results or []) if r.get("status") == "regressed"
+    }
+    rows: list[tuple[float, list[str]]] = []
+
+    def consider(name: str, old_v, new_v, unit: str = "") -> None:
+        try:
+            ov = float(old_v)
+            nv = float(new_v)
+        except (TypeError, ValueError):
+            return
+        if ov == nv:
+            return
+        pct = 100.0 * (nv - ov) / abs(ov) if ov != 0 else float("inf")
+        mark = "*" if name in flagged else ""
+        rows.append(
+            (
+                abs(pct),
+                [
+                    name + mark,
+                    f"{ov:g}{' ' + unit if unit else ''}",
+                    f"{nv:g}{' ' + unit if unit else ''}",
+                    f"{pct:+.1f}%" if pct != float("inf") else "new",
+                ],
+            )
+        )
+
+    old_metrics = old_doc.get("metrics", {})
+    new_metrics = new_doc.get("metrics", {})
+    for name in sorted(set(old_metrics) & set(new_metrics)):
+        consider(
+            name,
+            old_metrics[name].get("value"),
+            new_metrics[name].get("value"),
+            str(old_metrics[name].get("unit", "")),
+        )
+    old_h = old_doc.get("histograms", {})
+    new_h = new_doc.get("histograms", {})
+    for hname in sorted(set(old_h) & set(new_h)):
+        for stat in ("count", "mean", "p50", "p95", "p99", "max"):
+            if stat in old_h[hname] and stat in new_h[hname]:
+                consider(f"{hname}.{stat}", old_h[hname][stat], new_h[hname][stat])
+
+    if not rows:
+        return "(no overlapping quantities moved)"
+    rows.sort(key=lambda r: -r[0])
+    table_rows = [r[1] for r in rows[:max_rows]]
+    title = "root cause — largest movements"
+    if flagged:
+        title += " (* = failed the gate)"
+    if len(rows) > max_rows:
+        title += f" [top {max_rows} of {len(rows)}]"
+    return render_table(["quantity", "old", "new", "change"], table_rows, title=title)

@@ -18,6 +18,7 @@ from typing import Optional, Union
 from .tracer import Span, TraceEvent, Tracer, assemble_spans
 
 __all__ = [
+    "TraceParseError",
     "trace_to_jsonl",
     "write_jsonl",
     "read_jsonl",
@@ -74,12 +75,46 @@ def write_jsonl(path: Union[str, Path], trace: Union[Tracer, list[TraceEvent]]) 
     return path
 
 
-def read_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
+class TraceParseError(ValueError):
+    """A trace line that is not a valid :class:`TraceEvent` record.
+
+    Carries the file and 1-based line number so a truncated or corrupt
+    trace (killed run, partial copy) fails with *where*, not just a bare
+    ``json.JSONDecodeError``.
+    """
+
+    def __init__(self, path: Path, lineno: int, reason: str) -> None:
+        self.path = path
+        self.lineno = lineno
+        self.reason = reason
+        super().__init__(f"{path}:{lineno}: bad trace record: {reason}")
+
+
+def read_jsonl(
+    path: Union[str, Path], *, skip_bad_lines: bool = False
+) -> list[TraceEvent]:
+    """Read a JSONL trace back into events.
+
+    Raises :class:`TraceParseError` (with file and line number) on the
+    first malformed line; with ``skip_bad_lines=True`` malformed lines
+    are dropped instead — the escape hatch for analysing what survives
+    of a truncated trace (``repro-trace --skip-bad-lines``).
+    """
+    path = Path(path)
     events = []
-    for line in Path(path).read_text().splitlines():
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             events.append(TraceEvent.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            if skip_bad_lines:
+                continue
+            reason = (
+                f"missing key {exc}" if isinstance(exc, KeyError) else str(exc)
+            )
+            raise TraceParseError(path, lineno, reason) from exc
     return events
 
 

@@ -26,10 +26,18 @@ vocabulary is documented in ``docs/observability.md``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
-__all__ = ["TraceEvent", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "TraceEvent",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "cause_id",
+]
 
 
 @dataclass
@@ -39,6 +47,21 @@ class TraceEvent:
     ``kind`` is ``"event"`` for point events, ``"begin"``/``"end"`` for
     the two edges of a span.  Begin/end edges of the same span share a
     ``span_id``; point events have ``span_id is None``.
+
+    The three causal attributes are populated only by a tracer in
+    **causal mode** (``Tracer(causal=True)``); default traces never
+    carry them, so their JSONL serialization is byte-identical with
+    pre-causal tracers:
+
+    - ``parent`` — id of the enclosing span (hierarchy);
+    - ``caused_by`` — id of the record that *caused* this one, possibly
+      on another node (the cross-node causal edge);
+    - ``ref`` — this point event's own causal id, allocated when other
+      records need to name it as a cause (spans are referenced by their
+      ``span_id`` instead).
+
+    Ids live in one namespace (the tracer's span counter), so a cause
+    is unambiguous whether it is a span or a point event.
     """
 
     time: float
@@ -46,11 +69,20 @@ class TraceEvent:
     kind: str = "event"
     span_id: Optional[int] = None
     fields: dict[str, Any] = field(default_factory=dict)
+    parent: Optional[int] = None
+    caused_by: Optional[int] = None
+    ref: Optional[int] = None
 
     def to_dict(self) -> dict:
         out = {"t": self.time, "name": self.name, "kind": self.kind}
         if self.span_id is not None:
             out["span"] = self.span_id
+        if self.ref is not None:
+            out["ref"] = self.ref
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.caused_by is not None:
+            out["caused_by"] = self.caused_by
         if self.fields:
             out["fields"] = dict(self.fields)
         return out
@@ -63,7 +95,16 @@ class TraceEvent:
             kind=d.get("kind", "event"),
             span_id=d.get("span"),
             fields=dict(d.get("fields", {})),
+            parent=d.get("parent"),
+            caused_by=d.get("caused_by"),
+            ref=d.get("ref"),
         )
+
+
+def cause_id(ev: TraceEvent) -> Optional[int]:
+    """The id other records use to name ``ev`` as a cause: the span id
+    for span edges, the causal ``ref`` for point events."""
+    return ev.span_id if ev.span_id is not None else ev.ref
 
 
 @dataclass
@@ -77,6 +118,9 @@ class Span:
     #: migration aborted inside it).
     end: Optional[float]
     fields: dict[str, Any] = field(default_factory=dict)
+    #: Causal annotations copied from the begin edge (causal mode only).
+    parent: Optional[int] = None
+    caused_by: Optional[int] = None
 
     @property
     def duration(self) -> Optional[float]:
@@ -89,30 +133,120 @@ class Tracer:
     ``clock`` is anything with a ``now`` attribute (normally the DES
     :class:`~repro.des.Environment`), read at record time so events are
     stamped with simulated timestamps.
+
+    ``causal=True`` switches on **causal annotation**: the keyword-only
+    ``parent=`` / ``caused_by=`` arguments of :meth:`event` /
+    :meth:`begin` are recorded, and ``event(..., ref=True)`` allocates
+    a causal id for the point event and returns it.  With causal mode
+    off (the default) those arguments are accepted and *dropped*, so
+    instrumentation sites can pass them unconditionally while default
+    same-seed traces stay byte-identical.
+
+    ``max_events=N`` bounds tracer memory with a ring buffer: once full,
+    the oldest record is dropped per append and counted in
+    :attr:`dropped_events` (mirrored into the ``obs.dropped_events``
+    metrics counter when the environment has a registry).  The default
+    (``None``) keeps the historical unbounded list.
     """
 
     enabled = True
 
-    def __init__(self, clock) -> None:
+    def __init__(
+        self,
+        clock,
+        *,
+        causal: bool = False,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
         self._clock = clock
-        self.events: list[TraceEvent] = []
+        self.causal = bool(causal)
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.events = deque() if max_events is not None else []
         self._next_span_id = 0
 
     def __len__(self) -> int:
         return len(self.events)
 
+    def _append(self, ev: TraceEvent) -> None:
+        events = self.events
+        if self.max_events is not None and len(events) >= self.max_events:
+            events.popleft()
+            self.dropped_events += 1
+            metrics = getattr(self._clock, "metrics", None)
+            if metrics is not None:
+                metrics.counter("obs.dropped_events").inc()
+        events.append(ev)
+
     # -- recording -----------------------------------------------------------
     # The record name is positional-only so a field can itself be called
-    # ``name`` (e.g. a process name) without colliding with it.
-    def event(self, name: str, /, **fields) -> None:
-        """Record a point event."""
-        self.events.append(TraceEvent(self._clock.now, name, "event", None, fields))
+    # ``name`` (e.g. a process name) without colliding with it.  The
+    # causal keywords (``parent``, ``caused_by``, ``ref``) are reserved
+    # and cannot be used as field names.
+    def event(
+        self,
+        name: str,
+        /,
+        *,
+        parent: Optional[int] = None,
+        caused_by: Optional[int] = None,
+        ref: bool = False,
+        **fields,
+    ) -> int:
+        """Record a point event.
 
-    def begin(self, name: str, /, **fields) -> int:
+        Returns the event's causal id when ``ref=True`` and the tracer
+        is in causal mode, else 0 — callers can thread the return value
+        into later ``caused_by=`` arguments unconditionally (0 and
+        ``None`` are both "no cause")."""
+        if not self.causal:
+            self._append(TraceEvent(self._clock.now, name, "event", None, fields))
+            return 0
+        eid = 0
+        if ref:
+            self._next_span_id += 1
+            eid = self._next_span_id
+        self._append(
+            TraceEvent(
+                self._clock.now,
+                name,
+                "event",
+                None,
+                fields,
+                parent=parent or None,
+                caused_by=caused_by or None,
+                ref=eid or None,
+            )
+        )
+        return eid
+
+    def begin(
+        self,
+        name: str,
+        /,
+        *,
+        parent: Optional[int] = None,
+        caused_by: Optional[int] = None,
+        **fields,
+    ) -> int:
         """Open a span; returns its id for the matching :meth:`end`."""
         self._next_span_id += 1
         sid = self._next_span_id
-        self.events.append(TraceEvent(self._clock.now, name, "begin", sid, fields))
+        if self.causal:
+            ev = TraceEvent(
+                self._clock.now,
+                name,
+                "begin",
+                sid,
+                fields,
+                parent=parent or None,
+                caused_by=caused_by or None,
+            )
+        else:
+            ev = TraceEvent(self._clock.now, name, "begin", sid, fields)
+        self._append(ev)
         return sid
 
     def end(self, span_id: int, /, **fields) -> None:
@@ -123,7 +257,7 @@ class Tracer:
             if ev.span_id == span_id and ev.kind == "begin":
                 name = ev.name
                 break
-        self.events.append(TraceEvent(self._clock.now, name, "end", span_id, fields))
+        self._append(TraceEvent(self._clock.now, name, "end", span_id, fields))
 
     def span(self, name: str, /, **fields):
         """Context manager sugar around :meth:`begin`/:meth:`end`."""
@@ -172,10 +306,13 @@ class NullTracer:
     """
 
     enabled = False
+    causal = False
+    dropped_events = 0
+    max_events = None
     events: list = []  # always empty; shared is fine, nobody appends
 
-    def event(self, name: str, /, **fields) -> None:
-        pass
+    def event(self, name: str, /, **fields) -> int:
+        return 0
 
     def begin(self, name: str, /, **fields) -> int:
         return 0
@@ -227,7 +364,15 @@ def assemble_spans(
         if ev.span_id is None:
             continue
         if ev.kind == "begin":
-            span = Span(ev.name, ev.span_id, ev.time, None, dict(ev.fields))
+            span = Span(
+                ev.name,
+                ev.span_id,
+                ev.time,
+                None,
+                dict(ev.fields),
+                parent=ev.parent,
+                caused_by=ev.caused_by,
+            )
             open_spans[ev.span_id] = span
             out.append(span)
         elif ev.kind == "end":

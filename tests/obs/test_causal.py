@@ -1,0 +1,241 @@
+"""The causal trace graph and the critical-path analyzer.
+
+Two invariants anchor everything here: (1) causal annotation is strictly
+opt-in — a default (non-causal) tracer produces records without any
+causal keys and identical event sequencing, so same-seed traces stay
+byte-compatible with earlier revisions; (2) the downtime critical path
+is an exhaustive partition — its segment durations sum to exactly the
+measured downtime, on causal and non-causal traces alike.
+"""
+
+import pytest
+
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.des import Environment
+from repro.obs import (
+    build_causal_graph,
+    degradation_breakdown,
+    downtime_critical_path,
+    migration_slices,
+    render_critical_path,
+    total_critical_path,
+    trace_to_jsonl,
+)
+from repro.testing import establish_clients, run_for, start_dirtier
+
+from .test_trace_migration import traced_migration
+
+
+def causal_migration(cluster, strategy="incremental-collective"):
+    tracer = cluster.env.enable_tracing(causal=True)
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv0")
+    proc.address_space.mmap(64, tag="heap")
+    establish_clients(cluster, node, proc, 27960, 4)
+    run_for(cluster, 0.2)
+    ev = migrate_process(
+        node, cluster.nodes[1], proc, LiveMigrationConfig(strategy=strategy)
+    )
+    report = cluster.env.run(until=ev)
+    return tracer, report
+
+
+class TestCausalOptIn:
+    def test_default_trace_has_no_causal_keys(self, two_nodes):
+        tracer, report = traced_migration(two_nodes, "incremental-collective")
+        assert report.success
+        text = trace_to_jsonl(tracer)
+        for key in ('"parent"', '"caused_by"', '"ref"', '"cause"'):
+            assert key not in text
+
+    def test_causal_trace_annotates_without_resequencing(self, two_nodes):
+        """Causal mode adds edges; it must not change what happens when
+        (same seed, same event names at the same simulated times)."""
+        from repro.cluster import build_cluster
+
+        plain, _ = traced_migration(two_nodes, "incremental-collective")
+        causal, report = causal_migration(build_cluster(n_nodes=2, with_db=False))
+        assert report.success
+        assert [(e.time, e.name, e.kind) for e in plain.events] == [
+            (e.time, e.name, e.kind) for e in causal.events
+        ]
+        assert any(e.caused_by is not None for e in causal.events)
+        assert any(e.parent is not None for e in causal.events)
+
+    def test_session_transitions_chain_back_to_mig_start(self, two_nodes):
+        causal, _ = causal_migration(two_nodes)
+        graph = build_causal_graph(causal.events)
+        (complete,) = [n for n in graph.nodes.values() if n.name == "mig.complete"]
+        chain = graph.chain(complete.cid)
+        assert chain[0].name == "mig.start"
+        assert chain[-1].name == "mig.complete"
+        assert any(n.name == "session.state" for n in chain)
+
+    def test_cross_node_effects_carry_causes(self, two_nodes):
+        causal, _ = causal_migration(two_nodes)
+        stages = [e for e in causal.events if e.name == "migd.stage"]
+        assert stages and all(e.caused_by is not None for e in stages)
+        (restore,) = [
+            e
+            for e in causal.events
+            if e.name == "migd.restore" and e.kind == "begin"
+        ]
+        assert restore.caused_by is not None
+
+
+class TestCausalGraph:
+    def test_inferred_edges_on_default_trace(self, two_nodes):
+        """Default traces carry no annotations, but the protocol's shape
+        still yields the freeze-transfer → restore handoff."""
+        tracer, _ = traced_migration(two_nodes, "incremental-collective")
+        graph = build_causal_graph(tracer.events)
+        pairs = {
+            (graph.nodes[e.src].name, graph.nodes[e.dst].name)
+            for e in graph.edges
+            if e.kind == "inferred"
+        }
+        assert ("mig.freeze.transfer", "migd.restore") in pairs
+        assert ("migd.restore", "migd.thaw") in pairs
+        assert ("mig.precopy.round", "migd.stage") in pairs
+
+    def test_effects_and_causes_navigation(self, two_nodes):
+        causal, _ = causal_migration(two_nodes)
+        graph = build_causal_graph(causal.events)
+        (start,) = [n for n in graph.nodes.values() if n.name == "mig.start"]
+        effects = graph.effects_of(start.cid)
+        assert effects, "mig.start must cause something"
+        for eff in effects:
+            assert start.cid in {c.cid for c in graph.causes_of(eff.cid)}
+
+    def test_empty_trace(self):
+        graph = build_causal_graph([])
+        assert len(graph) == 0 and graph.edges == []
+
+
+class TestDowntimeCriticalPath:
+    def test_attribution_sums_to_measured_downtime(self, two_nodes):
+        tracer, _ = traced_migration(two_nodes, "incremental-collective")
+        (sl,) = migration_slices(tracer.events)
+        path = downtime_critical_path(sl)
+        freeze = [e for e in sl.events if e.name == "mig.freeze.enter"]
+        thaw = [e for e in sl.events if e.name == "migd.thaw"]
+        measured = thaw[0].time - freeze[0].time
+        assert path.total == pytest.approx(measured, abs=1e-12)
+        assert sum(seg.duration for seg in path.segments) == pytest.approx(
+            measured, abs=1e-9
+        )
+        assert sum(pct for _, _, pct in path.attribution()) == pytest.approx(
+            100.0, abs=1e-6
+        )
+
+    def test_segments_partition_the_window(self, two_nodes):
+        tracer, _ = traced_migration(two_nodes, "collective")
+        (sl,) = migration_slices(tracer.events)
+        path = downtime_critical_path(sl)
+        assert path.segments[0].start == path.window[0]
+        assert path.segments[-1].end == path.window[1]
+        for a, b in zip(path.segments, path.segments[1:]):
+            assert a.end == b.start
+            assert a.label != b.label  # adjacent same-label runs merge
+
+    def test_expected_phases_present(self, two_nodes):
+        tracer, _ = traced_migration(two_nodes, "incremental-collective")
+        (sl,) = migration_slices(tracer.events)
+        labels = {seg.label for seg in downtime_critical_path(sl).segments}
+        assert "network.transfer" in labels
+        assert "restore" in labels
+        assert labels <= {
+            "freeze.signal",
+            "freeze.barrier",
+            "freeze.serialize",
+            "network.transfer",
+            "restore",
+            "freeze.other",
+        }
+
+    def test_unfinished_span_truncated_window(self):
+        """A trace that ends mid-freeze (killed run) is analysed up to
+        its last record, marked truncated, and still sums to 100%."""
+        env = Environment()
+        tr = env.enable_tracing()
+
+        def script(_ev):
+            tr.event("mig.start", pid=7, session="a>b#7", strategy="iterative")
+            tr.event("mig.freeze.enter", pid=7, session="a>b#7")
+            tr.begin("mig.freeze.barrier", pid=7, session="a>b#7")
+            env.timeout(0.5).callbacks.append(
+                lambda _e: tr.event("mig.freeze.image", pid=7, session="a>b#7")
+            )
+
+        env.timeout(1.0).callbacks.append(script)
+        env.run()
+        (sl,) = migration_slices(tr.events)
+        path = downtime_critical_path(sl)
+        assert path.truncated
+        assert path.total == pytest.approx(0.5)
+        assert sum(s.duration for s in path.segments) == pytest.approx(path.total)
+        assert {s.label for s in path.segments} == {"freeze.barrier"}
+
+    def test_no_freeze_returns_none(self):
+        env = Environment()
+        tr = env.enable_tracing()
+        tr.event("mig.start", pid=7, session="a>b#7", strategy="iterative")
+        (sl,) = migration_slices(tr.events)
+        assert downtime_critical_path(sl) is None
+
+
+class TestTotalPathAndDegradation:
+    def test_total_path_covers_whole_migration(self, two_nodes):
+        tracer, _ = traced_migration(two_nodes, "incremental-collective")
+        (sl,) = migration_slices(tracer.events)
+        path = total_critical_path(sl)
+        assert path.window == (sl.start.time, sl.terminal.time)
+        assert sum(s.duration for s in path.segments) == pytest.approx(path.total)
+        labels = {s.label for s in path.segments}
+        assert "precopy" in labels and "freeze" in labels
+
+    def test_degradation_includes_postcopy_fault_wait(self, two_nodes):
+        cluster = two_nodes
+        tracer = cluster.env.enable_tracing()
+        node = cluster.nodes[0]
+        proc = node.kernel.spawn_process("zone_serv0")
+        area = proc.address_space.mmap(2048, tag="heap")
+        stats = start_dirtier(
+            cluster, proc, area, count=8, interval=0.002, offset=2000
+        )
+        run_for(cluster, 0.1)
+        ev = migrate_process(
+            node, cluster.nodes[1], proc, LiveMigrationConfig(mode="postcopy")
+        )
+        report = cluster.env.run(until=ev)
+        run_for(cluster, 0.5)
+        assert report.success and stats["faulted"] >= 1
+        (sl,) = migration_slices(tracer.events)
+        degr = degradation_breakdown(sl)
+        assert degr["downtime"] > 0
+        assert degr["postcopy.fault_wait"] == pytest.approx(
+            report.postcopy_fault_wait
+        )
+
+
+class TestRenderAndCli:
+    def test_render_empty(self):
+        assert render_critical_path([]) == "(no migrations in trace)"
+
+    def test_render_mentions_every_block(self, two_nodes):
+        tracer, _ = traced_migration(two_nodes, "incremental-collective")
+        text = render_critical_path(tracer.events)
+        assert "downtime critical path" in text
+        assert "total-time attribution" in text
+        assert "degradation contributors" in text
+
+    def test_cli_critical_path_flag(self, two_nodes, tmp_path, capsys):
+        from repro.obs import write_jsonl
+        from repro.obs.cli import main as trace_main
+
+        tracer, _ = traced_migration(two_nodes, "incremental-collective")
+        path = write_jsonl(tmp_path / "t.jsonl", tracer)
+        assert trace_main([str(path), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "downtime critical path" in out
+        assert "network.transfer" in out

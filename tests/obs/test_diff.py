@@ -1,0 +1,202 @@
+"""The trace-diff regression explainer and the bench root-cause table."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import LiveMigrationConfig, migrate_process
+from repro.obs import (
+    bench_root_cause_table,
+    diff_traces,
+    render_trace_diff,
+    write_jsonl,
+)
+from repro.obs.bench import compare_benches, main as bench_main, make_bench, write_bench
+from repro.obs.cli import main as trace_main
+from repro.testing import establish_clients, run_for
+
+
+def traced(strategy="incremental-collective", pages=64):
+    cluster = build_cluster(n_nodes=2, with_db=False)
+    tracer = cluster.env.enable_tracing()
+    node = cluster.nodes[0]
+    proc = node.kernel.spawn_process("zone_serv0")
+    proc.address_space.mmap(pages, tag="heap")
+    establish_clients(cluster, node, proc, 27960, 4)
+    run_for(cluster, 0.2)
+    ev = migrate_process(
+        node, cluster.nodes[1], proc, LiveMigrationConfig(strategy=strategy)
+    )
+    cluster.env.run(until=ev)
+    return tracer
+
+
+class TestTraceDiff:
+    def test_identical_traces_show_no_movement(self):
+        tracer = traced()
+        (d,) = diff_traces(tracer.events, tracer.events)
+        assert d.status == "matched"
+        assert d.ranked() == []
+        assert "identical" in render_trace_diff(tracer.events, tracer.events)
+
+    def test_regression_ranked_by_magnitude(self):
+        old = traced(pages=64)
+        new = traced(pages=256)
+        (d,) = diff_traces(old.events, new.events)
+        ranked = d.ranked()
+        assert ranked, "4x the pages must move something"
+        assert [abs(m.delta) for m in ranked] == sorted(
+            (abs(m.delta) for m in ranked), reverse=True
+        )
+        by_name = {m.name: m for m in ranked}
+        assert by_name["bytes.precopy_pages"].delta > 0
+
+    def test_alignment_matches_same_route(self):
+        # pids allocate globally, so two separately-built clusters get
+        # different session ids — the diff falls back to order pairing.
+        old = traced()
+        new = traced()
+        (d,) = diff_traces(old.events, new.events)
+        assert d.status == "matched"
+        assert d.session.startswith("node1>node2#")
+
+    def test_alignment_by_session_id(self):
+        from repro.obs import migration_slices
+
+        tracer = traced()
+        (sl,) = migration_slices(tracer.events)
+        (d,) = diff_traces(tracer.events, tracer.events)
+        assert d.status == "matched"
+        assert d.session == sl.session
+
+    def test_unmatched_sessions_reported(self):
+        tracer = traced()
+        diffs = diff_traces(tracer.events, [])
+        assert [d.status for d in diffs] == ["only_old"]
+        diffs = diff_traces([], tracer.events)
+        assert [d.status for d in diffs] == ["only_new"]
+        assert diff_traces([], []) == []
+        assert "(no migrations" in render_trace_diff([], [])
+
+    def test_cli_diff_subcommand(self, tmp_path, capsys):
+        a = write_jsonl(tmp_path / "a.jsonl", traced(pages=64))
+        b = write_jsonl(tmp_path / "b.jsonl", traced(pages=256))
+        assert trace_main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "bytes.precopy_pages" in out
+
+    def test_cli_diff_missing_file(self, tmp_path, capsys):
+        a = write_jsonl(tmp_path / "a.jsonl", traced())
+        assert trace_main(["diff", str(a), str(tmp_path / "nope.jsonl")]) == 2
+
+
+def bench_doc(**metrics):
+    return make_bench(
+        "t",
+        quick=True,
+        metrics={
+            name: {"value": value, "unit": "ms", "direction": "lower"}
+            for name, value in metrics.items()
+        },
+        histograms={
+            "freeze_time": {"count": 3, "mean": 1.0, "p50": 1.0, "p99": 2.0}
+        },
+        rev="deadbeef",
+    )
+
+
+class TestBenchRootCause:
+    def test_largest_mover_first_and_gate_marked(self):
+        old = bench_doc(downtime=1.0, rounds=4.0)
+        new = bench_doc(downtime=1.3, rounds=4.1)
+        results = compare_benches(old, new, threshold_pct=10.0)
+        table = bench_root_cause_table(old, new, results)
+        assert "downtime*" in table  # regressed → gate-marked
+        assert table.index("downtime*") < table.index("rounds")
+
+    def test_histogram_percentiles_considered(self):
+        old = bench_doc(downtime=1.0)
+        new = bench_doc(downtime=1.0)
+        new["histograms"]["freeze_time"]["p99"] = 4.0
+        table = bench_root_cause_table(old, new, [])
+        assert "freeze_time.p99" in table
+
+    def test_no_movement(self):
+        old = bench_doc(downtime=1.0)
+        table = bench_root_cause_table(old, old, [])
+        assert "no overlapping quantities moved" in table
+
+    def test_compare_cli_prints_root_cause_on_regression(self, tmp_path, capsys):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        a = write_bench(old_dir, bench_doc(downtime=1.0, rounds=4.0))
+        b = write_bench(new_dir, bench_doc(downtime=2.0, rounds=4.0))
+        assert bench_main(["compare", str(a), str(b)]) == 1
+        captured = capsys.readouterr()
+        assert "root cause" in captured.out
+        assert "downtime*" in captured.out
+        assert "regressed" in captured.err
+
+    def test_compare_cli_quiet_when_clean(self, tmp_path, capsys):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        a = write_bench(old_dir, bench_doc(downtime=1.0))
+        b = write_bench(new_dir, bench_doc(downtime=1.0))
+        assert bench_main(["compare", str(a), str(b)]) == 0
+        assert "root cause" not in capsys.readouterr().out
+
+
+class TestReadJsonlHardening:
+    def test_parse_error_carries_line_number(self, tmp_path):
+        from repro.obs import TraceParseError, read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"t": 0.0, "name": "a", "kind": "event"}\n{"broken\n')
+        with pytest.raises(TraceParseError) as exc:
+            read_jsonl(path)
+        assert exc.value.lineno == 2
+        assert str(path) in str(exc.value)
+
+    def test_missing_key_reported(self, tmp_path):
+        from repro.obs import TraceParseError, read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a"}\n')
+        with pytest.raises(TraceParseError, match="missing key"):
+            read_jsonl(path)
+
+    def test_skip_bad_lines_drops_and_keeps_rest(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"t": 0.0, "name": "a", "kind": "event"}\n'
+            "{\"broken\n"
+            "[1, 2]\n"
+            '{"t": 1.0, "name": "b", "kind": "event"}\n'
+        )
+        events = read_jsonl(path, skip_bad_lines=True)
+        assert [e.name for e in events] == ["a", "b"]
+
+    def test_blank_lines_fine_either_way(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"t": 0.0, "name": "a", "kind": "event"}\n\n')
+        assert len(read_jsonl(path)) == 1
+
+    def test_cli_exit_2_with_location(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"broken\n')
+        assert trace_main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.jsonl:1" in err
+        assert "--skip-bad-lines" in err
+
+    def test_cli_skip_bad_lines_recovers(self, tmp_path, capsys):
+        tracer = traced()
+        path = write_jsonl(tmp_path / "t.jsonl", tracer)
+        path.write_text(path.read_text() + '{"truncated\n')
+        assert trace_main([str(path)]) == 2
+        assert trace_main([str(path), "--skip-bad-lines", "--summary"]) == 0
+        assert "node1>node2#" in capsys.readouterr().out

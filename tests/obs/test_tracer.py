@@ -118,3 +118,82 @@ class TestEventSerialization:
             TraceEvent(1.0, "p", "end", 1, {}),
         ]
         assert [e.name for e in iter_point_events(events)] == ["x"]
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self, env):
+        tr = env.enable_tracing()
+        for i in range(1000):
+            tr.event("tick", n=i)
+        assert len(tr) == 1000
+        assert tr.dropped_events == 0
+
+    def test_oldest_dropped_and_counted(self, env):
+        tr = env.enable_tracing(max_events=10)
+        for i in range(25):
+            tr.event("tick", n=i)
+        assert len(tr) == 10
+        assert tr.dropped_events == 15
+        assert [e.fields["n"] for e in tr.events] == list(range(15, 25))
+
+    def test_dropped_counter_metric(self, env):
+        env.enable_metrics()
+        tr = env.enable_tracing(max_events=2)
+        for i in range(5):
+            tr.event("tick", n=i)
+        assert env.metrics.snapshot()["obs.dropped_events"] == 3
+
+
+class TestCausalKwargs:
+    def test_non_causal_tracer_drops_annotations(self, env):
+        tr = env.enable_tracing()
+        assert tr.causal is False
+        ref = tr.event("a", ref=True)
+        assert ref == 0
+        sid = tr.begin("b", parent=5, caused_by=7)
+        tr.end(sid)
+        tr.event("c", parent=sid, caused_by=ref or None)
+        for ev in tr.events:
+            assert ev.parent is None
+            assert ev.caused_by is None
+            assert ev.ref is None
+
+    def test_causal_tracer_records_annotations(self, env):
+        tr = env.enable_tracing(causal=True)
+        assert tr.causal is True
+        ref = tr.event("a", ref=True)
+        assert ref > 0
+        sid = tr.begin("b", caused_by=ref)
+        tr.end(sid)
+        tr.event("c", parent=sid, caused_by=ref)
+        a, b, _bend, c = tr.events
+        assert a.ref == ref
+        assert b.caused_by == ref
+        assert c.parent == sid and c.caused_by == ref
+        (span,) = tr.spans()
+        assert span.caused_by == ref
+
+    def test_causal_ids_share_one_namespace(self, env):
+        tr = env.enable_tracing(causal=True)
+        ref = tr.event("a", ref=True)
+        sid = tr.begin("b")
+        assert ref != sid
+
+    def test_causal_annotations_round_trip_jsonl(self, env):
+        from repro.obs import trace_to_jsonl
+
+        tr = env.enable_tracing(causal=True)
+        ref = tr.event("a", ref=True)
+        sid = tr.begin("b", caused_by=ref)
+        tr.end(sid)
+        text = trace_to_jsonl(tr)
+        assert '"ref"' in text and '"caused_by"' in text
+        import json
+
+        for line, orig in zip(text.splitlines(), tr.events):
+            assert TraceEvent.from_dict(json.loads(line)) == orig
+
+    def test_null_tracer_accepts_causal_kwargs(self):
+        assert NULL_TRACER.causal is False
+        assert NULL_TRACER.event("x", ref=True, parent=1, caused_by=2) == 0
+        assert NULL_TRACER.dropped_events == 0
