@@ -40,7 +40,16 @@ class MovementConfig:
 
 
 class ClientPopulation:
-    """All clients' positions + the drift dynamics."""
+    """All clients' positions + the drift dynamics.
+
+    ``rng`` is the *only* randomness source — initial placement, mover
+    selection, speeds and jitter all draw from it, never from a module
+    or global generator.  Pass a named stream from the cluster's seeded
+    registry (``cluster.rng.stream("dve-clients")``) and a master seed
+    replays the population byte for byte; the scenario plane
+    (:class:`repro.scenarios.driver.ScenarioDriver`) honours the same
+    contract with its ``"scenario"`` stream.
+    """
 
     def __init__(
         self,

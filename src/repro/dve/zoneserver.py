@@ -181,6 +181,11 @@ class ZoneServer:
                 )
                 self.neighbor_msgs_sent += 1
 
+    @property
+    def state_area(self):
+        """The world-state VMA (for workload drivers that dirty it)."""
+        return self._state
+
     def current_node(self) -> Host:
         """The host this process currently runs on (changes on migration)."""
         kernel = self.proc.kernel

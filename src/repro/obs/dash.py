@@ -35,6 +35,7 @@ __all__ = [
     "build_parser",
     "render_node_panel",
     "render_planner_panel",
+    "render_scenario_panel",
     "latest_values",
     "split_node_metric",
 ]
@@ -157,13 +158,68 @@ def render_planner_panel(events) -> str:
     )
 
 
+def render_scenario_panel(cols: dict[str, list[float]], campaign: str = "") -> str:
+    """Workload view from the ``scenario.*`` series a
+    :class:`~repro.scenarios.driver.ScenarioDriver` exports: offered vs
+    achieved population over the window, and one row per zone with its
+    latest / peak client count.
+
+    ``campaign`` selects the ``scenario.<campaign>.*`` namespace a
+    campaign-tagged driver records; empty reads the bare ``scenario.*``
+    series.  Empty string when the export carries no such series.
+    """
+    from ..analysis.report import render_kv, render_table
+    from ..scenarios.driver import series_prefix
+
+    prefix = series_prefix(campaign)
+    offered = cols.get(f"{prefix}offered") or []
+    achieved = cols.get(f"{prefix}achieved") or []
+    zone_head, zone_tail = f"{prefix}zone.", ".clients"
+    zones: dict[int, list[float]] = {}
+    for name, vals in cols.items():
+        if name.startswith(zone_head) and name.endswith(zone_tail) and vals:
+            zone_id = name[len(zone_head): -len(zone_tail)]
+            if zone_id.isdigit():
+                zones[int(zone_id)] = vals
+    if not offered and not zones:
+        return ""
+
+    panels = []
+    if offered:
+        summary = {
+            "offered (latest)": offered[-1],
+            "offered (peak)": max(offered),
+            "offered (mean)": round(sum(offered) / len(offered), 1),
+        }
+        if achieved:
+            summary["achieved (latest)"] = achieved[-1]
+            gap = sum(o - a for o, a in zip(offered, achieved))
+            total = sum(offered)
+            summary["achieved/offered"] = (
+                round(1.0 - gap / total, 4) if total > 0 else 1.0
+            )
+        title = "Scenario" + (f" [{campaign}]" if campaign else "")
+        panels.append(render_kv(summary, title=title))
+    if zones:
+        rows = [
+            [z, f"{vals[-1]:.0f}", f"{max(vals):.0f}", f"{min(vals):.0f}"]
+            for z, vals in sorted(zones.items())
+        ]
+        panels.append(
+            render_table(
+                ["zone", "clients", "peak", "min"], rows, title="Zone population"
+            )
+        )
+    return "\n\n".join(panels)
+
+
 def _render_other_metrics(cols: dict[str, list[float]]) -> str:
     from ..analysis.report import render_kv
 
     other = {
         name: value
         for name, value in sorted(latest_values(cols).items())
-        if not name.startswith("node.")
+        if not name.startswith(("node.", "scenario."))
     }
     if not other:
         return ""
@@ -195,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="limit the session panel to one migration session id",
     )
+    parser.add_argument(
+        "--campaign",
+        default=None,
+        help="read the scenario panel from the scenario.<campaign>.* series "
+        "(a campaign-tagged run); default reads the bare scenario.* series",
+    )
     return parser
 
 
@@ -218,6 +280,16 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"repro-dash: {args.metrics}: {exc}", file=sys.stderr)
             return 2
         panels.append(render_node_panel(cols, at_time=times[-1] if times else None))
+        scenario = render_scenario_panel(cols, campaign=args.campaign or "")
+        if scenario:
+            panels.append(scenario)
+        elif args.campaign is not None:
+            print(
+                f"repro-dash: no scenario.{args.campaign}.* series in "
+                f"{args.metrics}",
+                file=sys.stderr,
+            )
+            return 3
         other = _render_other_metrics(cols)
         if other:
             panels.append(other)

@@ -1,0 +1,68 @@
+"""Workload scenarios: composable load primitives, a one-liner DSL, a
+seeded driver, and the chaos-campaign runner.
+
+This package is the workload twin of :mod:`repro.faults`: where a fault
+plan says what *breaks* and when, a scenario spec says what the *world
+does* — flash crowds, diurnal swings, Zipf zone popularity, churny vs
+long-lived connection mixes, in-cluster dependency chains, write-hot
+memory sets.  Primitives are pure seeded generators
+(:mod:`~repro.scenarios.primitives`), the DSL round-trips through
+``parse``/``describe`` (:mod:`~repro.scenarios.dsl`), the
+:class:`~repro.scenarios.driver.ScenarioDriver` schedules the resulting
+joins/leaves/load against ``dve`` zone servers through the DES, and
+:mod:`~repro.scenarios.campaign` composes (scenario, fault plan,
+strategy, SLO ruleset) quadruples into the standing regression suite
+behind ``repro-campaign``.
+"""
+
+from .campaign import (
+    NAMED_CAMPAIGNS,
+    Campaign,
+    CampaignResult,
+    campaign_names,
+    get_campaign,
+    parse_campaign,
+    run_campaign,
+)
+from .driver import ScenarioDriver, series_prefix
+from .dsl import ScenarioParseError, parse_scenario
+from .primitives import (
+    BackgroundCycle,
+    ConnectionMix,
+    CornerDrift,
+    DependencyChain,
+    DiurnalSine,
+    FlashCrowd,
+    HotSet,
+    RotatingHotspot,
+    ScenarioSpec,
+    UniformZones,
+    ZipfZones,
+)
+from .workload import start_dirtier
+
+__all__ = [
+    "BackgroundCycle",
+    "Campaign",
+    "CampaignResult",
+    "ConnectionMix",
+    "CornerDrift",
+    "DependencyChain",
+    "DiurnalSine",
+    "FlashCrowd",
+    "HotSet",
+    "NAMED_CAMPAIGNS",
+    "RotatingHotspot",
+    "ScenarioDriver",
+    "ScenarioParseError",
+    "ScenarioSpec",
+    "UniformZones",
+    "ZipfZones",
+    "campaign_names",
+    "get_campaign",
+    "parse_campaign",
+    "parse_scenario",
+    "run_campaign",
+    "series_prefix",
+    "start_dirtier",
+]

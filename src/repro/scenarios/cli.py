@@ -1,0 +1,129 @@
+"""``repro-campaign`` — run the standing chaos-campaign suite.
+
+Subcommands::
+
+    repro-campaign list
+    repro-campaign describe <name-or-file>
+    repro-campaign run <name-or-file>... [--quick] [--seed N]
+                       [--out DIR] [--trace]
+
+Exit codes follow the ``repro-trace`` conventions: 0 all SLOs passed,
+1 at least one campaign's SLO verdict failed, 3 malformed
+scenario/campaign spec (the error message carries
+``path:lineno:token: reason``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .campaign import (
+    Campaign,
+    campaign_names,
+    get_campaign,
+    parse_campaign,
+    run_campaign,
+)
+from .dsl import ScenarioParseError
+
+__all__ = ["main"]
+
+
+def _load(ref: str) -> Campaign:
+    """Resolve a campaign by registry name or by file path."""
+    if ref in campaign_names():
+        return get_campaign(ref)
+    path = Path(ref)
+    if path.exists():
+        return parse_campaign(path.read_text(), path=str(path))
+    raise ScenarioParseError(
+        ref, 0, ref,
+        f"neither a named campaign ({', '.join(campaign_names())}) nor a file",
+    )
+
+
+def _cmd_list(_args) -> int:
+    for name in campaign_names():
+        campaign = get_campaign(name)
+        faults = f"{len(campaign.faults)} fault(s)" if len(campaign.faults) else "no faults"
+        print(f"{name:26s} {campaign.strategy:28s} {faults}, {len(campaign.slos)} SLO rule(s)")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    print(_load(args.campaign).describe(), end="")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    failed = False
+    out = Path(args.out) if args.out else None
+    for ref in args.campaigns:
+        campaign = _load(ref)
+        trace_path = None
+        if args.trace:
+            trace_dir = out or Path(".")
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            trace_path = trace_dir / f"campaign_{campaign.name}.trace.jsonl"
+        series_path = None
+        if out is not None:
+            out.mkdir(parents=True, exist_ok=True)
+            series_path = out / f"campaign_{campaign.name}.series.csv"
+        result = run_campaign(
+            campaign,
+            quick=args.quick,
+            seed=args.seed,
+            trace_path=trace_path,
+            series_path=series_path,
+        )
+        print(result.render())
+        if trace_path is not None:
+            print(f"trace: {trace_path}")
+        if out is not None:
+            from ..obs.bench import write_bench
+
+            path = write_bench(out, result.bench_doc())
+            print(f"bench: {path}")
+            print(f"series: {series_path}")
+        print()
+        if not result.passed:
+            failed = True
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run seeded workload-scenario x fault-plan campaigns "
+        "with SLO verdicts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the named campaigns")
+
+    p_desc = sub.add_parser("describe", help="print a campaign document")
+    p_desc.add_argument("campaign", help="campaign name or file path")
+
+    p_run = sub.add_parser("run", help="run campaigns and evaluate their SLOs")
+    p_run.add_argument("campaigns", nargs="+", help="campaign names or file paths")
+    p_run.add_argument("--quick", action="store_true", help="use each campaign's quick duration")
+    p_run.add_argument("--seed", type=int, default=None, help="override the campaign seed")
+    p_run.add_argument("--out", default=None, help="directory for BENCH documents")
+    p_run.add_argument("--trace", action="store_true", help="record and write the JSONL trace")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
+        return _cmd_run(args)
+    except ScenarioParseError as exc:
+        print(f"repro-campaign: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

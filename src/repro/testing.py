@@ -11,7 +11,7 @@ from typing import Optional
 
 from .cluster import Cluster
 from .net import Endpoint
-from .oskern import Host, RpcError, SimProcess
+from .oskern import Host, SimProcess
 from .tcpip import TCPSocket
 
 __all__ = [
@@ -40,32 +40,18 @@ def start_dirtier(
     pages of ``area`` through the fault-aware
     :meth:`~repro.oskern.task.SimProcess.touch_range` path.
 
-    Unlike a bare ``write_range`` loop this one behaves like a real
-    application under migration: it pauses while frozen, blocks on
-    demand fetches after a post-copy thaw, and slows down while
-    auto-convergence throttles the process (the tick interval stretches
-    by the inverse of the CPU share).  Returns a live stats dict with
-    ``ticks`` (completed write bursts), ``faulted`` (bursts that hit at
-    least one non-resident page) and ``errors`` (aborted post-copy
-    fetches, which also stop the workload).
+    Thin veneer over :func:`repro.scenarios.workload.start_dirtier`
+    (where the loop lives as the reusable :class:`~repro.scenarios.
+    primitives.HotSet` workload primitive); kept here so tests and
+    benches keep their one-import fixture.  Returns the live stats dict
+    with ``ticks``, ``faulted`` and ``errors``.
     """
-    stats = {"ticks": 0, "faulted": 0, "errors": 0}
+    from .scenarios.workload import HotSet
+    from .scenarios.workload import start_dirtier as _start
 
-    def loop():
-        while True:
-            yield cluster.env.timeout(interval / max(proc.cpu_throttle, 1e-6))
-            had_absent = proc.address_space.has_absent
-            try:
-                yield from proc.touch_range(area, count, offset)
-            except RpcError:
-                stats["errors"] += 1
-                return
-            stats["ticks"] += 1
-            if had_absent:
-                stats["faulted"] += 1
-
-    cluster.env.process(loop(), name=f"dirtier-{proc.pid}")
-    return stats
+    return _start(
+        cluster.env, proc, area, HotSet(pages=count, interval=interval, offset=offset)
+    )
 
 
 def accept_all(cluster: Cluster, listener: TCPSocket, out: list) -> None:

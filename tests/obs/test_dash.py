@@ -8,7 +8,12 @@ from repro.analysis.export import read_series_csv, series_to_csv
 from repro.core import migrate_process
 from repro.des import SeriesBundle
 from repro.obs import install_metrics_sampler, write_jsonl
-from repro.obs.dash import main, render_node_panel, split_node_metric
+from repro.obs.dash import (
+    main,
+    render_node_panel,
+    render_scenario_panel,
+    split_node_metric,
+)
 from repro.testing import establish_clients, run_for
 
 
@@ -87,6 +92,51 @@ class TestNodePanel:
 
     def test_empty_metrics(self):
         assert "no node" in render_node_panel({})
+
+
+def scenario_cols(prefix=""):
+    """Series shaped like a ScenarioDriver export: offered/achieved with
+    a served gap, plus two zone populations."""
+    head = f"scenario.{prefix}." if prefix else "scenario."
+    return {
+        f"{head}offered": [100.0, 200.0, 100.0],
+        f"{head}achieved": [100.0, 150.0, 100.0],
+        f"{head}zone.0.clients": [50.0, 120.0, 50.0],
+        f"{head}zone.3.clients": [50.0, 80.0, 50.0],
+    }
+
+
+class TestScenarioPanel:
+    def test_summary_and_zone_table(self):
+        panel = render_scenario_panel(scenario_cols())
+        assert "offered (peak)" in panel and "200" in panel
+        # 50 of 400 offered client-ticks unserved.
+        assert "0.875" in panel
+        assert "Zone population" in panel
+        lines = [ln for ln in panel.splitlines() if ln.strip().startswith(("0", "3"))]
+        assert len(lines) == 2
+        assert "120" in lines[0]
+
+    def test_campaign_namespace(self):
+        cols = scenario_cols(prefix="mycamp")
+        assert render_scenario_panel(cols) == ""
+        panel = render_scenario_panel(cols, campaign="mycamp")
+        assert "[mycamp]" in panel
+
+    def test_no_scenario_series(self):
+        assert render_scenario_panel({"node.10.0.0.1.sched.runq": [1.0]}) == ""
+
+    def test_cli_campaign_filter(self, tmp_path, capsys):
+        bundle = SeriesBundle()
+        for t, (o, a) in enumerate(zip([100.0, 200.0], [100.0, 150.0])):
+            bundle.record("scenario.c1.offered", float(t), o)
+            bundle.record("scenario.c1.achieved", float(t), a)
+        csv = tmp_path / "scn.csv"
+        csv.write_text(series_to_csv(bundle, n_points=2))
+        assert main(["--metrics", str(csv), "--campaign", "c1"]) == 0
+        assert "[c1]" in capsys.readouterr().out
+        assert main(["--metrics", str(csv), "--campaign", "nope"]) == 3
+        assert "no scenario.nope.*" in capsys.readouterr().err
 
 
 class TestCli:
