@@ -382,6 +382,32 @@ def bench_result(quick: bool = False) -> dict:
         }
         for name, (ops, secs) in runs.items()
     }
+
+    # Footprint pass, *after* all timing: tracemalloc slows allocation
+    # down badly, so peaks are measured in a separate single run per
+    # workload.  Representation wins (dicts -> flat arrays) show up
+    # here even when the ops/cal-unit numbers saturate.
+    import tracemalloc
+
+    mem_runners = {
+        "dirty_write_hot_pages": (_run_dirty_writes, sizes["dirty_rounds"]),
+        "dirty_write_random_pages": (_run_random_writes, sizes["random_writes"]),
+        "link_packets": (_run_packet_burst, sizes["packets"]),
+        "tcp_round_trips": (_run_tcp_echo, sizes["round_trips"]),
+    }
+    for name, (fn, arg) in mem_runners.items():
+        tracemalloc.start()
+        try:
+            fn(arg)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        metrics[f"{name}_mem_bytes"] = {
+            "value": float(peak),
+            "unit": "bytes",
+            "direction": "lower",
+        }
+
     return {
         "name": "micro_substrate",
         "params": {

@@ -102,13 +102,15 @@ class CaptureService:
 
     # -- the hook ----------------------------------------------------------------
     def _capture_fn(self, pkt: Packet) -> str:
-        key = (pkt.src_ip, pkt.sport, pkt.dport)
-        filt = self._filters.get(key)
+        # Runs on every inbound packet while any filter is armed; one
+        # dict probe on the exact key, a second only for the wildcard.
+        filters = self._filters
+        filt = filters.get((pkt.src_ip, pkt.sport, pkt.dport))
         if filt is None:
             # Wildcard filter for listeners / unconnected UDP servers.
-            filt = self._filters.get((None, 0, pkt.dport))
-        if filt is None:
-            return NF_ACCEPT
+            filt = filters.get((None, 0, pkt.dport))
+            if filt is None:
+                return NF_ACCEPT
         if pkt.proto == PROTO_TCP and pkt.payload_size > 0:
             assert pkt.tcp is not None
             if pkt.tcp.seq in filt.seen_seqs:
@@ -130,12 +132,12 @@ class CaptureService:
             self._hook = None
         if filt is None:
             return 0
-        n = 0
+        # okfn(): ip_rcv_finish, bypassing LOCAL_IN like the real
+        # netfilter continuation.
+        okfn = self.host.kernel.stack.ip_rcv_finish
         for pkt in filt.packets:
-            # okfn(): ip_rcv_finish, bypassing LOCAL_IN like the real
-            # netfilter continuation.
-            self.host.kernel.stack.ip_rcv_finish(pkt)
-            n += 1
+            okfn(pkt)
+        n = len(filt.packets)
         self.total_reinjected += n
         return n
 

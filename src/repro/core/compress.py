@@ -96,18 +96,24 @@ class PageCompressor:
         zero = delta = full = 0
         xbzrle = self.mode == "xbzrle"
         cache_get = self._cache.get
+        # Hoisted per-page constants: the accumulation order is unchanged
+        # (same float sums), only the attribute lookups leave the loop.
+        zero_scan = costs.zero_scan_cost
+        zero_bytes = costs.zero_page_bytes
+        encode_cost = costs.xbzrle_encode_cost
+        delta_bytes = costs.xbzrle_delta_bytes
         for vpn, version in pages.items():
-            cpu += costs.zero_scan_cost
+            cpu += zero_scan
             if version == 0:
-                wire += costs.zero_page_bytes
+                wire += zero_bytes
                 zero += 1
                 continue
             if xbzrle:
                 cached = cache_get(vpn)
                 if cached is not None and 0 < cached < version:
-                    cpu += costs.xbzrle_encode_cost
+                    cpu += encode_cost
                     enc = PAGE_RECORD_OVERHEAD + min(
-                        PAGE_SIZE, costs.xbzrle_delta_bytes * (version - cached)
+                        PAGE_SIZE, delta_bytes * (version - cached)
                     )
                     if enc < _FULL_PAGE:
                         wire += enc

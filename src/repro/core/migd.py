@@ -72,6 +72,13 @@ class MigrationChannel:
         #: its config asks for one); ``None`` bypasses the stage
         #: entirely so default traffic is accounted exactly as before.
         self.compressor = None
+        #: Padding-chunk body, built once and re-sent for every chunk:
+        #: chunk payloads are opaque filler that nothing downstream
+        #: mutates, so a long stream is thousands of sends of one dict
+        #: instead of one allocation per chunk.
+        self._chunk_body: dict = {"op": "chunk"}
+        if session is not None:
+            self._chunk_body["session"] = session
         metrics = source.env.metrics
         if metrics is not None and session is not None:
             metrics.gauge(f"channel.{session}.bytes_sent", fn=lambda: self.bytes_sent)
@@ -91,14 +98,13 @@ class MigrationChannel:
             body.setdefault("session", self.session)
         chunk = self.costs.migration_chunk_bytes
         remaining = max(nbytes, 1)
-        while remaining > chunk:
-            filler: dict = {"op": "chunk"}
-            if self.session is not None:
-                filler["session"] = self.session
-            self.source.control.send(
-                self.dest.local_ip, MIGD_PORT, filler, size=chunk
-            )
-            remaining -= chunk
+        if remaining > chunk:
+            send = self.source.control.send
+            dest_ip = self.dest.local_ip
+            filler = self._chunk_body
+            while remaining > chunk:
+                send(dest_ip, MIGD_PORT, filler, size=chunk)
+                remaining -= chunk
         self.bytes_sent += max(nbytes, 1)
         return remaining
 

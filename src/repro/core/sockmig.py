@@ -243,17 +243,24 @@ class SocketTracker:
 
         key = id(sock)
         snap = self._snapshots.get(key)
+        is_tcp = isinstance(sock, TCPSocket)
         if snap is None:
             rec = (
                 subtract_tcp_socket(sock, fd, self.costs)
-                if isinstance(sock, TCPSocket)
+                if is_tcp
                 else subtract_udp_socket(sock, fd, self.costs)
             )
-            self._remember(sock)
+            # The full dump already walked every queue and scalar once;
+            # the snapshot is derived from the record instead of walking
+            # the socket a second time.
+            self._snapshots[key] = (
+                dict(rec.scalars),
+                {q: {r["skb_id"] for r in recs} for q, recs in rec.skbs_add.items()},
+            )
             return rec
 
         old_scalars, old_queues = snap
-        if isinstance(sock, TCPSocket):
+        if is_tcp:
             scalars = _tcp_scalars(sock)
             queues = {q: _queue_skbs(sock, q) for q in TCP_QUEUES}
             delta_base = self.costs.tcp_delta_bytes
@@ -263,20 +270,26 @@ class SocketTracker:
             delta_base = self.costs.udp_delta_bytes
 
         rec = SocketRecord(
-            proto=PROTO_TCP if isinstance(sock, TCPSocket) else PROTO_UDP,
+            proto=PROTO_TCP if is_tcp else PROTO_UDP,
             flow=(sock.local, sock.remote),
             fd=fd,
-            listening=isinstance(sock, TCPSocket) and sock.state == TCPState.LISTEN,
+            listening=is_tcp and sock.state == TCPState.LISTEN,
             full=False,
         )
         nbytes = delta_base
         if scalars != old_scalars:
-            rec.scalars = scalars
+            # A copy goes on the wire; the snapshot keeps the original.
+            rec.scalars = dict(scalars)
             nbytes += SCALAR_CHANGE_BYTES
+        new_queues: dict[str, set[int]] = {}
         for qname, skbs in queues.items():
+            old_ids = old_queues[qname]
             current_ids = {s.skb_id for s in skbs}
-            added = [_skb_record(s) for s in skbs if s.skb_id not in old_queues[qname]]
-            removed = sorted(old_queues[qname] - current_ids)
+            new_queues[qname] = current_ids
+            if current_ids == old_ids:
+                continue
+            added = [_skb_record(s) for s in skbs if s.skb_id not in old_ids]
+            removed = sorted(old_ids - current_ids)
             if added:
                 rec.skbs_add[qname] = added
                 nbytes += _skb_bytes(added, self.costs)
@@ -284,17 +297,8 @@ class SocketTracker:
                 rec.skbs_remove[qname] = removed
                 nbytes += 8 * len(removed)
         rec.nbytes = nbytes
-        self._remember(sock)
+        self._snapshots[key] = (scalars, new_queues)
         return rec
-
-    def _remember(self, sock) -> None:
-        if isinstance(sock, TCPSocket):
-            scalars = _tcp_scalars(sock)
-            queues = {q: {s.skb_id for s in _queue_skbs(sock, q)} for q in TCP_QUEUES}
-        else:
-            scalars = {"bound": sock.hashed, "orig_local_ip": sock.orig_local_ip}
-            queues = {"receive": {s.skb_id for s in sock.receive_queue}}
-        self._snapshots[id(sock)] = (scalars, queues)
 
     def subtract_cost(self, sock, full: bool) -> float:
         if isinstance(sock, TCPSocket):

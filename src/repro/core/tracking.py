@@ -56,21 +56,25 @@ class VMATracker:
         self._last_space = space
         self._last_map_version = space.map_version
         diff = VMADiff()
+        tracked = self._tracked
         live: dict[int, VMArea] = {v.vma_id: v for v in space.vmas}
 
         for vma_id, area in live.items():
             shape = (area.start, area.end, area.perms)
-            old = self._tracked.get(vma_id)
+            old = tracked.get(vma_id)
             if old is None:
                 diff.inserted.append((area.start, area.end, area.perms, area.tag))
             elif old != shape:
                 diff.modified.append((area.start, area.end, area.perms, area.tag))
-            self._tracked[vma_id] = shape
+            tracked[vma_id] = shape
 
-        for vma_id in list(self._tracked):
-            if vma_id not in live:
-                diff.removed.append(vma_id)
-                del self._tracked[vma_id]
+        # After the merge loop the tracking list is a superset of the
+        # live list, so equal sizes mean nothing was removed.
+        if len(tracked) != len(live):
+            for vma_id in list(tracked):
+                if vma_id not in live:
+                    diff.removed.append(vma_id)
+                    del tracked[vma_id]
 
         return diff
 

@@ -9,9 +9,11 @@ fixed propagation latency.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Optional
 
 from ..des import Environment
+from ..des.events import NORMAL, Deferred
 from .packet import Packet
 
 __all__ = ["Link", "LinkTap", "LinkFaultFilter", "DROP", "CORRUPT"]
@@ -101,16 +103,22 @@ class Link:
         if receiver is None:
             raise RuntimeError(f"nothing attached on side {to_side} of link {self.name!r}")
 
-        now = self.env.now
-        start = max(now, self._busy_until[from_side])
-        done = start + self.tx_time(packet)
-        self._busy_until[from_side] = done
+        env = self.env
+        now = env._now
+        busy = self._busy_until
+        start = busy[from_side]
+        if start < now:
+            start = now
+        size = packet.size
+        done = start + size * 8 / self.bandwidth_bps
+        busy[from_side] = done
         arrival = done + self.latency
 
-        self.bytes_sent[from_side] += packet.size
+        self.bytes_sent[from_side] += size
         self.packets_sent[from_side] += 1
-        for tap in self._taps:
-            tap(start, packet, from_side)
+        if self._taps:
+            for tap in self._taps:
+                tap(start, packet, from_side)
 
         if self._fault_filter is not None:
             verdict = self._fault_filter(start, packet, from_side)
@@ -124,10 +132,12 @@ class Link:
                 return arrival
 
         # Cheap one-shot delivery entry — no Event, callback list or
-        # closure per packet.  call_later burns one event id exactly
-        # like the event()+schedule pair it replaced, so same-tick
-        # delivery order (and trace determinism) is unchanged.
-        self.env.call_later(arrival - now, receiver, packet)
+        # closure per packet.  This is env.call_later inlined (the
+        # per-packet cost matters): it burns one event id exactly like
+        # the event()+schedule pair it replaced, so same-tick delivery
+        # order (and trace determinism) is unchanged.
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (arrival, NORMAL, eid, Deferred(receiver, packet)))
         return arrival
 
     def queueing_delay(self, from_side: int) -> float:

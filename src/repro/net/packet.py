@@ -91,31 +91,30 @@ class Packet:
     #: packet is physically delivered, which is exactly the trap the
     #: paper's translation filter must handle by *replacing* the entry.
     dst_cache_ip: Optional[IPAddr] = None
+    #: Total on-wire size in bytes (headers + payload).  Computed once at
+    #: construction: header mangling rewrites addresses and ports, never
+    #: the protocol or payload size, and the link layer reads this on
+    #: every transmit.
+    size: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
-        if self.proto not in (PROTO_TCP, PROTO_UDP, PROTO_CTL):
+        if self.proto == PROTO_TCP:
+            if self.tcp is None:
+                raise ValueError("TCP packet without TCP header")
+            hdr = IP_HEADER_BYTES + TCP_HEADER_BYTES
+        elif self.proto in (PROTO_UDP, PROTO_CTL):
+            hdr = IP_HEADER_BYTES + UDP_HEADER_BYTES  # ctl rides on UDP-like framing
+        else:
             raise ValueError(f"unknown protocol {self.proto!r}")
-        if self.proto == PROTO_TCP and self.tcp is None:
-            raise ValueError("TCP packet without TCP header")
         if self.payload_size < 0:
             raise ValueError("negative payload size")
+        self.size = hdr + self.payload_size
 
     @property
     def wire_dst(self) -> IPAddr:
         """Where the packet is physically delivered: the destination-cache
         entry when present, else the header destination."""
         return self.dst_cache_ip if self.dst_cache_ip is not None else self.dst_ip
-
-    @property
-    def size(self) -> int:
-        """Total on-wire size in bytes (headers + payload)."""
-        if self.proto == PROTO_TCP:
-            hdr = IP_HEADER_BYTES + TCP_HEADER_BYTES
-        elif self.proto == PROTO_UDP:
-            hdr = IP_HEADER_BYTES + UDP_HEADER_BYTES
-        else:
-            hdr = IP_HEADER_BYTES + UDP_HEADER_BYTES  # ctl rides on UDP-like framing
-        return hdr + self.payload_size
 
     @property
     def src(self) -> Endpoint:

@@ -396,8 +396,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    old = read_bench(Path(args.baseline))
-    new = read_bench(Path(args.current))
+    # A gate that cannot find (or parse) its baseline must say so and
+    # exit with the usage code, not die in a traceback.
+    try:
+        old = read_bench(Path(args.baseline))
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: missing baseline: {args.baseline} ({exc})", file=sys.stderr)
+        return 2
+    try:
+        new = read_bench(Path(args.current))
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: missing current: {args.current} ({exc})", file=sys.stderr)
+        return 2
     if old["name"] != new["name"]:
         print(
             f"repro-bench: comparing different benches "

@@ -257,16 +257,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="read the scenario panel from the scenario.<campaign>.* series "
         "(a campaign-tagged run); default reads the bare scenario.* series",
     )
+    parser.add_argument(
+        "--sweep",
+        type=Path,
+        default=None,
+        help="merged repro-sweep/1 document (SWEEP_<name>.json); renders the "
+        "cross-run comparison table",
+    )
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.metrics is None and args.trace is None:
-        print("repro-dash: need --metrics and/or --trace", file=sys.stderr)
+    if args.metrics is None and args.trace is None and args.sweep is None:
+        print("repro-dash: need --metrics, --trace and/or --sweep", file=sys.stderr)
         return 2
     panels: list[str] = []
     cols: dict[str, list[float]] = {}
+
+    if args.sweep is not None:
+        from ..sweep.merge import read_sweep, render_sweep_table
+
+        if not args.sweep.exists():
+            print(f"repro-dash: no such file: {args.sweep}", file=sys.stderr)
+            return 2
+        try:
+            doc = read_sweep(args.sweep)
+        except ValueError as exc:
+            print(
+                f"repro-dash: {args.sweep} is not a repro-sweep/1 document: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        panels.append(render_sweep_table(doc))
 
     if args.metrics is not None:
         from ..analysis.export import read_series_csv

@@ -20,13 +20,17 @@ write path is batched instead of per-page:
 * dirty bits live in an :class:`ExtentSet` — sorted, disjoint half-open
   ``[start, end)`` runs kept as a flat boundary list, so marking a range
   dirty is an O(log n) interval merge rather than a per-page loop;
-* versions stay in a per-page dict (the dump wire format is per-page
-  anyway), but writes only record ``+1 at start, -1 at end`` boundary
-  deltas — a difference array — and the dict is *materialized lazily*
-  at read/dump time by one sweep over the accumulated boundaries.
-  Re-dirtying the same hot ranges many times between precopy rounds
-  therefore costs O(1) per write and one bump per page per round,
-  instead of one bump per page per write.
+* versions live in one flat ``array('Q')`` per VMA, indexed by page
+  offset (a dict keyed by offset stands in only for *sparse* VMAs above
+  :data:`_DENSE_LIMIT_PAGES`, where a flat array would waste memory).
+  Writes only record ``+1 at start, -1 at end`` boundary deltas — a
+  difference array — and the arrays are *materialized lazily* at
+  read/dump time by one sweep over the accumulated boundaries, applied
+  as C-level slice operations.  Re-dirtying the same hot ranges many
+  times between precopy rounds therefore costs O(1) per write and one
+  slice bump per run per round, instead of one dict update per page per
+  write; dump views (:meth:`AddressSpace.dirty_version_map`) are built
+  from memoryview slices over the arrays rather than per-page lookups.
 
 The VMA list is kept sorted by ``start`` with a parallel key list, so
 ``find_vma``/``_insert``/``resize`` are O(log n) bisects with
@@ -36,15 +40,26 @@ neighbour-only overlap checks instead of linear scans.
 from __future__ import annotations
 
 import itertools
+from array import array
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from .costs import PAGE_SIZE
 
 __all__ = ["VMArea", "AddressSpace", "ExtentSet", "PAGE_SIZE", "extents_of"]
 
 _vma_ids = itertools.count(1)
+
+#: VMAs at or above this page count get a dict-backed sparse store
+#: instead of a flat ``array('Q')`` (8 bytes per page up front).  1M
+#: pages = a 4 GiB mapping = an 8 MiB version array; anything bigger is
+#: a sparse giant mapping that would mostly hold zeros.
+_DENSE_LIMIT_PAGES = 1 << 20
+
+#: A page store: flat version array indexed by page offset within the
+#: VMA, or (sparse fallback) offset -> version with an implicit 0.
+PageStore = Union["array[int]", dict]
 
 
 @dataclass
@@ -65,6 +80,11 @@ class VMArea:
     def __post_init__(self) -> None:
         if self.end <= self.start:
             raise ValueError(f"empty VMA [{self.start}, {self.end})")
+        # Owning AddressSpace while mapped (cleared on munmap): lets the
+        # write path validate a caller-held VMArea reference in O(1)
+        # instead of re-finding it by bisect.  Not a dataclass field, so
+        # snapshots/eq/repr are unaffected.
+        self._space: Optional["AddressSpace"] = None
 
     @property
     def npages(self) -> int:
@@ -115,7 +135,12 @@ class ExtentSet:
         if end <= start:
             return 0
         b = self._b
-        lo = bisect_left(b, start)
+        # Fast path for the precopy-hot shape — re-dirtying a range that
+        # is already entirely inside one run: a single bisect, no writes.
+        i = bisect_right(b, start)
+        if i & 1 and end <= b[i]:
+            return 0
+        lo = i - 1 if i and b[i - 1] == start else i
         hi = bisect_right(b, end)
         left = b[lo - 1] if lo & 1 else start
         right = b[hi] if hi & 1 else end
@@ -123,8 +148,8 @@ class ExtentSet:
         hi += hi & 1
         swallowed = b[lo:hi]
         prev = 0
-        for i in range(0, len(swallowed), 2):
-            prev += swallowed[i + 1] - swallowed[i]
+        for j in range(0, len(swallowed), 2):
+            prev += swallowed[j + 1] - swallowed[j]
         b[lo:hi] = (left, right)
         added = (right - left) - prev
         self._count += added
@@ -203,6 +228,13 @@ class ExtentSet:
         return out
 
 
+def _new_store(npages: int) -> PageStore:
+    """Zero-version page store for a fresh mapping."""
+    if npages >= _DENSE_LIMIT_PAGES:
+        return {}
+    return array("Q", bytes(8 * npages))
+
+
 class AddressSpace:
     """Per-process memory: sorted VMA list + batched dirty/version state."""
 
@@ -211,10 +243,10 @@ class AddressSpace:
         self.vmas: list[VMArea] = []
         #: Parallel sorted key list (``vma.start`` never mutates in place).
         self._vma_starts: list[int] = []
-        #: vpn -> version (bumped on every write).  Presence == mapped.
+        #: vma_id -> page store (version per page offset; see module doc).
         #: Lags behind by the deltas in :attr:`_pending`; every reader
         #: goes through :meth:`_flush_versions` first.
-        self._versions: dict[int, int] = {}
+        self._stores: dict[int, PageStore] = {}
         #: Difference array of unapplied writes: boundary -> delta
         #: (``+1`` at each written range's start, ``-1`` at its end).
         self._pending: dict[int, int] = {}
@@ -254,8 +286,9 @@ class AddressSpace:
             raise ValueError(f"{area} overlaps {self.vmas[idx]}")
         self.vmas.insert(idx, area)
         self._vma_starts.insert(idx, area.start)
+        self._stores[area.vma_id] = _new_store(area.end - area.start)
+        area._space = self
         # Newly mapped pages are dirty: they never reached the destination.
-        self._versions.update(dict.fromkeys(area.pages(), 0))
         self._dirty.add(area.start, area.end)
         self._dirty_cache = None
         self.map_version += 1
@@ -265,12 +298,11 @@ class AddressSpace:
         idx = bisect_left(self._vma_starts, area.start)
         if idx >= len(self.vmas) or self.vmas[idx] != area:
             raise ValueError(f"{area} is not mapped")
+        self._flush_versions()  # before the store the sweep relies on goes away
         del self.vmas[idx]
         del self._vma_starts[idx]
-        self._flush_versions()  # before the keys the sweep relies on go away
-        pop = self._versions.pop
-        for vpn in area.pages():
-            pop(vpn, None)
+        del self._stores[area.vma_id]
+        area._space = None
         self._dirty.remove(area.start, area.end)
         if self._absent:
             self._absent.remove(area.start, area.end)
@@ -283,17 +315,21 @@ class AddressSpace:
             raise ValueError("new size must be positive")
         old_end = area.end
         new_end = area.start + new_npages
+        store = self._stores[area.vma_id]
         if new_end > old_end:
             idx = bisect_right(self._vma_starts, area.start)
             if idx < len(self.vmas) and self.vmas[idx].start < new_end:
                 raise ValueError("resize would overlap a neighbouring VMA")
-            self._versions.update(dict.fromkeys(range(old_end, new_end), 0))
+            if isinstance(store, array):
+                store.extend(array("Q", bytes(8 * (new_end - old_end))))
             self._dirty.add(old_end, new_end)
         elif new_end < old_end:
             self._flush_versions()
-            pop = self._versions.pop
-            for vpn in range(new_end, old_end):
-                pop(vpn, None)
+            if isinstance(store, array):
+                del store[new_npages:]
+            else:
+                for off in [o for o in store if o >= new_npages]:
+                    del store[off]
             self._dirty.remove(new_end, old_end)
             if self._absent:
                 self._absent.remove(new_end, old_end)
@@ -312,16 +348,16 @@ class AddressSpace:
     # -- page access ----------------------------------------------------------
     def write_page(self, vpn: int) -> None:
         """Simulate a store to a page: sets the dirty bit, bumps version."""
-        if vpn not in self._versions:
+        if self.find_vma(vpn) is None:
             raise ValueError(f"page fault: page {vpn:#x} is not mapped")
         if self._absent and vpn in self._absent:
             raise ValueError(f"page fault: page {vpn:#x} is not resident")
         pending = self._pending
-        pending[vpn] = pending.get(vpn, 0) + 1
         end = vpn + 1
+        pending[vpn] = pending.get(vpn, 0) + 1
         pending[end] = pending.get(end, 0) - 1
-        self._dirty.add(vpn, end)
-        self._dirty_cache = None
+        if self._dirty.add(vpn, end):
+            self._dirty_cache = None
 
     def write_range(self, area: VMArea, count: int, offset: int = 0) -> None:
         """Write ``count`` consecutive pages of ``area`` starting at offset.
@@ -329,52 +365,81 @@ class AddressSpace:
         O(log n): two boundary-delta bumps for the versions plus one
         extent merge for the dirty bits, regardless of ``count``.
         """
-        if offset < 0 or offset + count > area.npages:
+        if offset < 0 or offset + count > area.end - area.start:
             raise ValueError("write range outside area")
         if count <= 0:
             return
         start = area.start + offset
         end = start + count
-        live = self.find_vma(start)
-        if live is None or end > live.end:
-            vpn = start if live is None else live.end
-            raise ValueError(f"page fault: page {vpn:#x} is not mapped")
+        if area._space is not self:
+            # Stale reference (unmapped, or a pre-restore VMA object held
+            # across a migration): fall back to an address lookup — the
+            # write is legal iff a live VMA covers the range.
+            live = self.find_vma(start)
+            if live is None or end > live.end:
+                vpn = start if live is None else live.end
+                raise ValueError(f"page fault: page {vpn:#x} is not mapped")
         if self._absent and self._absent.covered(start, end):
             vpn = self._absent.intersect(start, end)[0][0]
             raise ValueError(f"page fault: page {vpn:#x} is not resident")
         pending = self._pending
         pending[start] = pending.get(start, 0) + 1
         pending[end] = pending.get(end, 0) - 1
-        self._dirty.add(start, end)
-        self._dirty_cache = None
+        if self._dirty.add(start, end):
+            self._dirty_cache = None
 
     def _flush_versions(self) -> None:
-        """Fold the pending write deltas into the version dict.
+        """Fold the pending write deltas into the per-VMA page stores.
 
         One sorted sweep over the recorded boundaries; each segment with
-        a positive cumulative delta is bumped in one C-level
-        zip/map/update pipeline.  N writes to the same hot range between
-        flushes collapse into a single +N bump per page.
+        a positive cumulative delta is bumped with C-level array slice
+        operations (split at VMA boundaries — adjacent restored VMAs can
+        share one written segment).  N writes to the same hot range
+        between flushes collapse into a single +N bump per page.
         """
         pending = self._pending
         if not pending:
             return
         self._pending = {}
-        versions = self._versions
-        get = versions.__getitem__
         cum = 0
         prev = 0
         for bound in sorted(pending):
             if cum > 0:
-                seg = range(prev, bound)
-                versions.update(zip(seg, map(cum.__add__, map(get, seg))))
+                self._bump_segment(prev, bound, cum)
             cum += pending[bound]
             prev = bound
         # Boundary deltas sum to zero, so the sweep always ends at cum == 0.
 
+    def _bump_segment(self, start: int, end: int, cum: int) -> None:
+        """Apply ``+cum`` to every page version in ``[start, end)``."""
+        starts = self._vma_starts
+        vmas = self.vmas
+        stores = self._stores
+        add = cum.__add__
+        while start < end:
+            area = vmas[bisect_right(starts, start) - 1]
+            hi = end if end < area.end else area.end
+            store = stores[area.vma_id]
+            a = start - area.start
+            b = hi - area.start
+            if isinstance(store, dict):
+                get = store.get
+                for off in range(a, b):
+                    store[off] = get(off, 0) + cum
+            else:
+                store[a:b] = array("Q", map(add, store[a:b]))
+            start = hi
+
     def page_version(self, vpn: int) -> int:
         self._flush_versions()
-        return self._versions[vpn]
+        area = self.find_vma(vpn)
+        if area is None:
+            raise KeyError(vpn)
+        store = self._stores[area.vma_id]
+        off = vpn - area.start
+        if isinstance(store, dict):
+            return store.get(off, 0)
+        return store[off]
 
     def is_dirty(self, vpn: int) -> bool:
         return vpn in self._dirty
@@ -414,14 +479,52 @@ class AddressSpace:
             self._dirty.remove(start, end)
         self._dirty_cache = None
 
+    def _run_views(self, start: int, end: int):
+        """Yield ``(run_range, version_view)`` pairs covering ``[start, end)``.
+
+        The view is a zero-copy memoryview slice of the backing array
+        (or a materialized list for a sparse store), split at VMA
+        boundaries.  Callers must consume it before the next mutation.
+        """
+        starts = self._vma_starts
+        vmas = self.vmas
+        stores = self._stores
+        while start < end:
+            area = vmas[bisect_right(starts, start) - 1]
+            hi = end if end < area.end else area.end
+            store = stores[area.vma_id]
+            a = start - area.start
+            b = hi - area.start
+            if isinstance(store, dict):
+                get = store.get
+                yield range(start, hi), [get(off, 0) for off in range(a, b)]
+            else:
+                yield range(start, hi), memoryview(store)[a:b]
+            start = hi
+
     def dirty_version_map(self) -> dict[int, int]:
-        """``{vpn: version}`` for every dirty page, built run-at-a-time."""
+        """``{vpn: version}`` for every dirty page, built run-at-a-time
+        from memoryview slices over the page stores."""
         self._flush_versions()
         out: dict[int, int] = {}
-        get = self._versions.__getitem__
+        update = out.update
         for start, end in self._dirty.extents():
-            seg = range(start, end)
-            out.update(zip(seg, map(get, seg)))
+            for seg, view in self._run_views(start, end):
+                update(zip(seg, view))
+        return out
+
+    def dirty_version_runs(self) -> list[tuple[int, "array[int]"]]:
+        """Dirty pages as ``(start, versions)`` runs.
+
+        The versions are *copied* out of the backing stores (``array``
+        slices), so the returned runs are a stable dump snapshot:
+        workload writes after the dump never alias into it.
+        """
+        self._flush_versions()
+        out: list[tuple[int, array]] = []
+        for start, end in self._dirty.extents():
+            for seg, view in self._run_views(start, end):
+                out.append((seg.start, array("Q", view)))
         return out
 
     # -- post-copy residency (pages mapped but not yet fetched) --------------
@@ -459,9 +562,25 @@ class AddressSpace:
         """
         if not pages:
             return
-        self._versions.update(pages)
+        starts = self._vma_starts
+        vmas = self.vmas
+        stores = self._stores
+        get_page = pages.__getitem__
         for start, end in _coalesce(list(pages)):
             self._absent.remove(start, end)
+            while start < end:
+                area = vmas[bisect_right(starts, start) - 1]
+                hi = end if end < area.end else area.end
+                store = stores[area.vma_id]
+                a = start - area.start
+                if isinstance(store, dict):
+                    for vpn in range(start, hi):
+                        store[vpn - area.start] = pages[vpn]
+                else:
+                    store[a:hi - area.start] = array(
+                        "Q", map(get_page, range(start, hi))
+                    )
+                start = hi
 
     # -- whole-space views ------------------------------------------------------
     @property
@@ -479,7 +598,17 @@ class AddressSpace:
     def content_snapshot(self) -> dict[int, int]:
         """vpn -> version for every mapped page (test/restore helper)."""
         self._flush_versions()
-        return dict(self._versions)
+        out: dict[int, int] = {}
+        for area in self.vmas:
+            store = self._stores[area.vma_id]
+            if isinstance(store, dict):
+                get = store.get
+                out.update(
+                    (vpn, get(vpn - area.start, 0)) for vpn in area.pages()
+                )
+            else:
+                out.update(zip(area.pages(), store))
+        return out
 
     def load_snapshot(
         self,
@@ -493,7 +622,20 @@ class AddressSpace:
             area = VMArea(start, end, perms, tag)
             insort(self.vmas, area, key=lambda a: a.start)
         self._vma_starts = [a.start for a in self.vmas]
-        self._versions = dict(versions)
+        get = versions.get
+        self._stores = {}
+        for area in self.vmas:
+            area._space = self
+            npages = area.end - area.start
+            if npages >= _DENSE_LIMIT_PAGES:
+                store: PageStore = {
+                    vpn - area.start: ver
+                    for vpn, ver in versions.items()
+                    if area.start <= vpn < area.end and ver
+                }
+            else:
+                store = array("Q", (get(vpn, 0) for vpn in area.pages()))
+            self._stores[area.vma_id] = store
         self._pending = {}
         self._dirty = ExtentSet()
         self._absent = ExtentSet()

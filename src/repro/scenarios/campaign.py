@@ -88,6 +88,18 @@ class Campaign:
     #: duration.
     quick_duration: Optional[float] = None
 
+    def with_overrides(self, **overrides) -> "Campaign":
+        """A copy with header fields replaced — the hook the sweep
+        runner (:mod:`repro.sweep`) uses to expand one campaign into a
+        parameter matrix.  Overriding ``strategy`` without also passing
+        ``strategy_params`` clears the params: they belong to the
+        strategy they were written for."""
+        from dataclasses import replace
+
+        if "strategy" in overrides and "strategy_params" not in overrides:
+            overrides["strategy_params"] = {}
+        return replace(self, **overrides)
+
     def effective_measure_after(self, duration: float) -> float:
         return (
             self.measure_after

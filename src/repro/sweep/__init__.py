@@ -1,0 +1,44 @@
+"""Declarative parameter-matrix sweeps over chaos campaigns.
+
+One spec file (the campaign 4-section format plus ``[sweep]`` and
+``[matrix]`` sections) expands to campaign × strategy × seed × fault
+combinations, fans out across a process pool with per-run isolated
+output directories, and merges into one ``repro-sweep/1`` comparison
+document (rendered by ``repro-dash --sweep``).
+"""
+
+from .merge import (
+    SWEEP_SCHEMA,
+    make_sweep_doc,
+    read_sweep,
+    render_sweep_table,
+    validate_sweep,
+    write_sweep,
+)
+from .runner import run_sweep
+from .spec import (
+    AXES,
+    NAMED_SWEEPS,
+    SweepRun,
+    SweepSpec,
+    get_sweep,
+    parse_sweep,
+    sweep_names,
+)
+
+__all__ = [
+    "AXES",
+    "NAMED_SWEEPS",
+    "SWEEP_SCHEMA",
+    "SweepRun",
+    "SweepSpec",
+    "get_sweep",
+    "make_sweep_doc",
+    "parse_sweep",
+    "read_sweep",
+    "render_sweep_table",
+    "run_sweep",
+    "sweep_names",
+    "validate_sweep",
+    "write_sweep",
+]

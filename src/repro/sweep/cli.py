@@ -1,0 +1,146 @@
+"""``repro-sweep``: run declarative campaign parameter matrices.
+
+::
+
+    repro-sweep list
+    repro-sweep describe --name diurnal-trio
+    repro-sweep run --name diurnal-trio --quick --jobs 4 --out sweep-out
+    repro-sweep run my-sweep.txt --jobs 2
+
+Exit codes: ``0`` all runs succeeded and passed their SLOs, ``1`` a
+run errored or failed SLOs (``--no-slo-gate`` keeps SLO failures
+non-fatal), ``2`` bad usage / unreadable or unparseable spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..scenarios.dsl import ScenarioParseError
+from .merge import render_sweep_table, write_sweep
+from .runner import run_sweep
+from .spec import NAMED_SWEEPS, SweepSpec, get_sweep, parse_sweep, sweep_names
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_spec(args: argparse.Namespace) -> SweepSpec:
+    if args.name is not None:
+        try:
+            return get_sweep(args.name)
+        except KeyError as exc:
+            raise SystemExit(f"repro-sweep: {exc.args[0]}") from None
+    if args.spec is None:
+        raise SystemExit("repro-sweep: need a spec file or --name")
+    path = Path(args.spec)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"repro-sweep: cannot read {path}: {exc}") from None
+    try:
+        return parse_sweep(text, path=str(path))
+    except ScenarioParseError as exc:
+        raise SystemExit(f"repro-sweep: {exc}") from None
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in sweep_names():
+        spec = get_sweep(name)
+        axes = ", ".join(f"{k}×{len(v)}" for k, v in spec.axes.items())
+        print(f"{name:<24} {len(spec):>3} runs  ({axes})")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    if args.name is not None:
+        print(NAMED_SWEEPS[args.name], end="")
+    else:
+        print(Path(args.spec).read_text(), end="")
+    print()
+    for run in spec.runs():
+        print(f"  {run.run_id}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    out_dir = Path(args.out)
+
+    def progress(summary: dict) -> None:
+        if "error" in summary:
+            status = f"ERROR {summary['error']}"
+        else:
+            status = "pass" if summary["slos_passed"] else "SLO FAIL"
+        print(f"  [{summary['wall_s']:8.2f}s] {summary['run_id']}: {status}")
+
+    print(f"sweep {spec.name}: {len(spec)} runs, jobs={args.jobs}")
+    doc = run_sweep(
+        spec, jobs=args.jobs, quick=args.quick, out_dir=out_dir, progress=progress
+    )
+    path = write_sweep(out_dir, doc)
+    print()
+    print(render_sweep_table(doc))
+    print(f"\nwrote {path}")
+
+    errored = [r for r in doc["runs"] if "error" in r]
+    failed = [r for r in doc["runs"] if not r.get("slos_passed", True)]
+    if errored:
+        for r in errored:
+            print(f"repro-sweep: run {r['run_id']} failed: {r['error']}", file=sys.stderr)
+        return 1
+    if failed and not args.no_slo_gate:
+        for r in failed:
+            for rule in r.get("slo_failures", []):
+                print(f"repro-sweep: {r['run_id']}: SLO FAIL {rule}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run campaign parameter matrices across a process pool.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="expand a sweep spec and run every point")
+    p_run.add_argument("spec", nargs="?", default=None, help="sweep spec file")
+    p_run.add_argument("--name", default=None, help="named sweep instead of a file")
+    p_run.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1)")
+    p_run.add_argument("--quick", action="store_true", help="quick campaign durations")
+    p_run.add_argument("--out", default="sweep-out", help="output directory")
+    p_run.add_argument(
+        "--no-slo-gate",
+        action="store_true",
+        help="record SLO verdicts but do not fail the exit code on them",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_desc = sub.add_parser("describe", help="print a spec and its expanded run ids")
+    p_desc.add_argument("spec", nargs="?", default=None)
+    p_desc.add_argument("--name", default=None)
+    p_desc.set_defaults(func=_cmd_describe)
+
+    p_list = sub.add_parser("list", help="list named sweeps")
+    p_list.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit as exc:
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

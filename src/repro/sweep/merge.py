@@ -1,0 +1,142 @@
+"""The ``repro-sweep/1`` merged comparison document.
+
+One sweep run produces one JSON document holding every matrix point's
+metrics, SLO verdict and wall-clock next to the sweep's own timing —
+the cross-run comparison artifact ``repro-dash --sweep`` renders and CI
+archives.  The shape mirrors ``repro-bench/1``: versioned ``schema``
+field, validated on write *and* read, so a corrupt or foreign file
+fails loudly at the boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "SWEEP_SCHEMA",
+    "make_sweep_doc",
+    "read_sweep",
+    "render_sweep_table",
+    "validate_sweep",
+    "write_sweep",
+]
+
+SWEEP_SCHEMA = "repro-sweep/1"
+
+_RUN_REQUIRED = ("run_id", "params", "wall_s")
+
+
+def validate_sweep(doc: dict) -> dict:
+    """Validate a ``repro-sweep/1`` document; returns it for chaining."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"sweep doc must be an object, got {type(doc).__name__}")
+    schema = doc.get("schema")
+    if schema != SWEEP_SCHEMA:
+        raise ValueError(f"unsupported sweep schema {schema!r} (want {SWEEP_SCHEMA!r})")
+    for key in ("name", "quick", "jobs", "axes", "runs", "serial_wall_s", "wall_s"):
+        if key not in doc:
+            raise ValueError(f"sweep doc missing {key!r}")
+    if not isinstance(doc["axes"], dict):
+        raise ValueError("sweep axes must be an object")
+    if not isinstance(doc["runs"], list) or not doc["runs"]:
+        raise ValueError("sweep doc needs a non-empty runs list")
+    seen: set[str] = set()
+    for run in doc["runs"]:
+        for key in _RUN_REQUIRED:
+            if key not in run:
+                raise ValueError(f"sweep run missing {key!r}: {run!r}")
+        if "error" not in run and "metrics" not in run:
+            raise ValueError(f"sweep run needs metrics or an error: {run['run_id']!r}")
+        if run["run_id"] in seen:
+            raise ValueError(f"duplicate run_id {run['run_id']!r}")
+        seen.add(run["run_id"])
+    return doc
+
+
+def make_sweep_doc(
+    name: str,
+    *,
+    quick: bool,
+    jobs: int,
+    axes: dict[str, list[str]],
+    runs: list[dict],
+    wall_s: float,
+) -> dict:
+    """Assemble (and validate) the merged document.
+
+    ``serial_wall_s`` is the sum of the per-run wall clocks measured
+    inside the workers — what the same matrix would have cost end to
+    end on one core, recorded in the same job so the parallel win is a
+    self-contained assertion.
+    """
+    return validate_sweep(
+        {
+            "schema": SWEEP_SCHEMA,
+            "name": name,
+            "quick": bool(quick),
+            "jobs": int(jobs),
+            "axes": axes,
+            "runs": runs,
+            "serial_wall_s": round(sum(r.get("wall_s", 0.0) for r in runs), 6),
+            "wall_s": round(wall_s, 6),
+        }
+    )
+
+
+def write_sweep(out_dir: Path, doc: dict) -> Path:
+    """Write ``SWEEP_<name>.json``; returns the path."""
+    validate_sweep(doc)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"SWEEP_{doc['name']}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_sweep(path: Path) -> dict:
+    """Load + validate; raises ValueError on bad JSON or schema."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    return validate_sweep(doc)
+
+
+#: (column header, metric name, format) for the cross-run table.
+_TABLE_COLUMNS = [
+    ("achieved", "scenario.achieved_ratio", "{:.4f}"),
+    ("degr s", "campaign.degradation_node_s", "{:.1f}"),
+    ("spread%", "campaign.spread_pct", "{:.1f}"),
+    ("migs", "campaign.migrations", "{:.0f}"),
+    ("failed", "campaign.migrations_failed", "{:.0f}"),
+]
+
+
+def render_sweep_table(doc: dict) -> str:
+    """The cross-run comparison table (the ``repro-dash`` sweep panel)."""
+    from ..analysis.report import render_table
+
+    rows = []
+    for run in doc["runs"]:
+        row: list = [run["run_id"]]
+        if "error" in run:
+            row += ["ERROR"] * len(_TABLE_COLUMNS) + ["-", f"{run['wall_s']:.2f}"]
+            rows.append(row)
+            continue
+        metrics = run.get("metrics", {})
+        for _, name, fmt in _TABLE_COLUMNS:
+            value = metrics.get(name)
+            row.append("-" if value is None else fmt.format(value))
+        row.append("pass" if run.get("slos_passed", True) else "FAIL")
+        row.append(f"{run['wall_s']:.2f}")
+        rows.append(row)
+    title = (
+        f"Sweep {doc['name']} (jobs {doc['jobs']}, "
+        f"wall {doc['wall_s']:.2f}s vs serial {doc['serial_wall_s']:.2f}s)"
+    )
+    return render_table(
+        ["run"] + [c[0] for c in _TABLE_COLUMNS] + ["slo", "wall s"],
+        rows,
+        title=title,
+    )

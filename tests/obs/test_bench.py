@@ -201,3 +201,22 @@ class TestRunner:
         other = make_bench("other", quick=True, rev="r")
         b = write_bench(tmp_path, other)
         assert main(["compare", str(a), str(b)]) == 2
+
+    def test_cli_compare_missing_baseline(self, tmp_path, capsys):
+        current = write_bench(tmp_path, doc(a=1.0))
+        missing = tmp_path / "nope" / "BENCH_x.json"
+        assert main(["compare", str(missing), str(current)]) == 2
+        assert f"missing baseline: {missing}" in capsys.readouterr().err
+
+    def test_cli_compare_unparseable_baseline(self, tmp_path, capsys):
+        current = write_bench(tmp_path, doc(a=1.0))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        assert main(["compare", str(bad), str(current)]) == 2
+        assert f"missing baseline: {bad}" in capsys.readouterr().err
+
+    def test_cli_compare_missing_current(self, tmp_path, capsys):
+        baseline = write_bench(tmp_path, doc(a=1.0))
+        missing = tmp_path / "gone.json"
+        assert main(["compare", str(baseline), str(missing)]) == 2
+        assert f"missing current: {missing}" in capsys.readouterr().err

@@ -158,3 +158,134 @@ def test_unmapped_write_faults_match():
         space.write_page(area.start)
     with pytest.raises(ValueError):
         space.write_range(area, count=1)
+
+
+def _random_workload(space, ref, seed, steps=120):
+    """Drive both spaces through a short seeded mutation sequence."""
+    rng = random.Random(seed)
+    live = []
+    for _ in range(steps):
+        ops = ["write_range", "write_range", "write_page", "clear_all"]
+        if len(live) < 5:
+            ops += ["mmap", "mmap"]
+        if live:
+            ops += ["munmap", "resize"]
+        op = rng.choice(ops)
+        if op == "mmap":
+            area = space.mmap(rng.randint(1, 40))
+            ref.mmap(area.start, area.end)
+            live.append(area)
+        elif op == "munmap":
+            idx = rng.randrange(len(live))
+            space.munmap(live.pop(idx))
+            ref.munmap(idx)
+        elif op == "resize":
+            idx = rng.randrange(len(live))
+            area = live[idx]
+            new_npages = rng.randint(1, area.npages + 8)
+            try:
+                space.resize(area, new_npages)
+            except ValueError:
+                continue
+            ref.resize(idx, new_npages)
+        elif op == "write_page" and live:
+            area = rng.choice(live)
+            vpn = rng.randrange(area.start, area.end)
+            space.write_page(vpn)
+            ref.write_page(vpn)
+        elif op == "write_range" and live:
+            idx = rng.randrange(len(live))
+            area = live[idx]
+            offset = rng.randrange(area.npages)
+            count = rng.randint(1, area.npages - offset)
+            space.write_range(area, count, offset)
+            ref.write_range(idx, count, offset)
+        elif op == "clear_all":
+            space.clear_dirty()
+            ref.clear_dirty()
+    return live
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_dump_runs_and_bytes_match_reference(seed):
+    """dirty_version_runs flattens to the oracle's dump, and the
+    serialized page-dump size derived from it matches the per-page
+    accounting blcr.checkpoint uses."""
+    from repro.blcr.checkpoint import PAGE_RECORD_OVERHEAD
+    from repro.oskern import PAGE_SIZE
+
+    space = AddressSpace()
+    ref = ReferenceSpace()
+    _random_workload(space, ref, seed)
+
+    runs = space.dirty_version_runs()
+    flat = {}
+    for start, versions in runs:
+        # Runs are sorted, disjoint and non-empty.
+        assert len(versions) > 0
+        for i, version in enumerate(versions):
+            flat[start + i] = version
+    assert flat == {v: ref.versions[v] for v in ref.dirty}
+    assert [s for s, _ in runs] == sorted(s for s, _ in runs)
+
+    npages = sum(len(v) for _, v in runs)
+    assert npages * (PAGE_SIZE + PAGE_RECORD_OVERHEAD) == len(ref.dirty) * (
+        PAGE_SIZE + PAGE_RECORD_OVERHEAD
+    )
+
+
+def test_dump_snapshot_unaffected_by_post_dump_writes():
+    """The dump views are stable snapshots: writes landing after the
+    dump (the next precopy round dirtying pages mid-transfer) must not
+    alias into the already-materialized runs or map."""
+    space = AddressSpace()
+    area = space.mmap(64)
+    space.clear_dirty()
+    space.write_range(area, count=16, offset=8)
+
+    runs = space.dirty_version_runs()
+    vmap = space.dirty_version_map()
+    frozen_runs = [(start, list(versions)) for start, versions in runs]
+    frozen_map = dict(vmap)
+
+    # Hammer the same pages (and new ones) after the dump.
+    for _ in range(5):
+        space.write_range(area, count=32, offset=0)
+    space.resize(area, 32)
+
+    assert [(s, list(v)) for s, v in runs] == frozen_runs
+    assert vmap == frozen_map
+    # And the *new* dump sees the post-dump writes.
+    assert space.dirty_version_map() != frozen_map
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_sparse_store_fallback_matches_reference(seed, monkeypatch):
+    """With the dense limit forced tiny, most VMAs take the dict-backed
+    sparse path (and small ones stay dense) — the mixed-store space must
+    still be indistinguishable from the oracle."""
+    from repro.oskern import memory as memory_mod
+
+    monkeypatch.setattr(memory_mod, "_DENSE_LIMIT_PAGES", 8)
+
+    space = AddressSpace()
+    ref = ReferenceSpace()
+    _random_workload(space, ref, seed)
+
+    # Both store kinds are actually in play (or the limit did nothing).
+    kinds = {type(store).__name__ for store in space._stores.values()}
+    if any(a.npages >= 8 for a in space.vmas) and any(a.npages < 8 for a in space.vmas):
+        assert kinds == {"dict", "array"}
+
+    sample_rng = random.Random(seed)
+    _check_equivalent(space, ref, sample_rng)
+    assert space.dirty_version_map() == {v: ref.versions[v] for v in ref.dirty}
+    assert space.content_snapshot() == ref.versions
+
+    # Snapshot round-trip crosses store kinds too.
+    clone = AddressSpace()
+    clone.load_snapshot(
+        [(v.start, v.end, v.perms, v.tag) for v in space.vmas],
+        space.content_snapshot(),
+    )
+    assert clone.content_snapshot() == ref.versions
